@@ -1,0 +1,62 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures and prints
+the same rows/series. Scale knobs (the paper uses 100 MiB x 20 repetitions on
+hardware; simulation defaults are smaller):
+
+* ``REPRO_SCALE_MIB``  — file size per transfer (default 4)
+* ``REPRO_REPS``       — repetitions per configuration (default 3)
+* ``REPRO_SEED``       — base seed (default 1)
+
+Outputs are printed and archived under ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.framework.config import ExperimentConfig
+from repro.framework.runner import RunSummary, run_repetitions
+from repro.units import mib
+
+SCALE_MIB = float(os.environ.get("REPRO_SCALE_MIB", "4"))
+REPS = int(os.environ.get("REPRO_REPS", "3"))
+SEED = int(os.environ.get("REPRO_SEED", "1"))
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def scaled(**kwargs) -> ExperimentConfig:
+    kwargs.setdefault("file_size", mib(SCALE_MIB))
+    kwargs.setdefault("repetitions", REPS)
+    kwargs.setdefault("seed", SEED)
+    return ExperimentConfig(**kwargs)
+
+
+class RunCache:
+    """Session-wide cache so shared configurations run once."""
+
+    def __init__(self) -> None:
+        self._runs: dict[str, RunSummary] = {}
+
+    def get(self, config: ExperimentConfig) -> RunSummary:
+        key = f"{config.label}|{config.file_size}|{config.repetitions}|{config.seed}|{config.trace_cwnd}"
+        if key not in self._runs:
+            self._runs[key] = run_repetitions(config)
+        return self._runs[key]
+
+
+@pytest.fixture(scope="session")
+def runs() -> RunCache:
+    return RunCache()
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result block and archive it."""
+    banner = f"\n{'=' * 72}\n{name} (scale: {SCALE_MIB} MiB x {REPS} reps; paper: 100 MiB x 20)\n{'=' * 72}\n"
+    print(banner + text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")

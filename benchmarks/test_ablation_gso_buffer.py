@@ -1,0 +1,75 @@
+"""Ablation: GSO buffer size (Section 4.3's "easier approach").
+
+"The easier approach is to send smaller GSO bursts and to pace the gaps
+between them... this approach does not fully utilize the advantages of GSO
+and requires a trade-off between CPU load and burstiness." This ablation
+quantifies that trade-off and contrasts it with the paced-GSO patch, which
+gets both ends of it at once.
+"""
+
+from benchmarks.conftest import publish, scaled
+from repro.framework.experiment import Experiment
+from repro.metrics.report import render_table
+from repro.metrics.trains import fraction_of_packets_in_trains_leq
+
+SEGMENT_COUNTS = (2, 4, 6, 10)
+
+
+def _run(gso: str, segments: int = 10):
+    cfg = scaled(
+        stack="quiche",
+        qdisc="fq",
+        gso=gso,
+        gso_segments=segments,
+        spurious_rollback=False,
+        repetitions=1,
+    )
+    return Experiment(cfg, seed=cfg.seed).run()
+
+
+def _collect():
+    results = {"off": _run("off")}
+    for n in SEGMENT_COUNTS:
+        results[f"x{n}"] = _run("on", n)
+    results["paced x10"] = _run("paced", 10)
+    return results
+
+
+def test_ablation_gso_buffer_size(benchmark):
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = []
+    crossings = {}
+    smoothness = {}
+    for label, r in results.items():
+        n_crossings = r.server_stats["gso_buffers"] or r.server_stats["packets_sent"]
+        crossings[label] = n_crossings
+        smoothness[label] = fraction_of_packets_in_trains_leq(r.server_records, 5)
+        rows.append(
+            [
+                label,
+                str(n_crossings),
+                f"{smoothness[label] * 100:.1f}%",
+                str(r.dropped),
+                f"{r.goodput_mbps:.2f}",
+            ]
+        )
+    publish(
+        "ablation_gso_buffer",
+        render_table(
+            ["GSO buffer", "kernel crossings", "trains <= 5", "dropped", "goodput"],
+            rows,
+            title="Ablation: GSO buffer size trade-off (Section 4.3)",
+        ),
+    )
+
+    # Bigger buffers -> monotonically fewer kernel crossings.
+    assert crossings["x2"] > crossings["x4"] > crossings["x10"]
+    assert crossings["off"] > crossings["x2"]
+
+    # ...and (weakly) burstier wire behaviour.
+    assert smoothness["x2"] > smoothness["x10"]
+
+    # The kernel patch breaks the trade-off: x10 batching, off-like pacing.
+    assert smoothness["paced x10"] > 0.9
+    assert crossings["paced x10"] < crossings["off"] / 2

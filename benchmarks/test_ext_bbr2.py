@@ -1,0 +1,66 @@
+"""Extension: BBRv1 vs BBRv2 (the related-work thread of Song/Zeynali et al.).
+
+Song et al. (cited in Section 5) report BBRv2's signature trade: *lower
+throughput but fewer retransmissions* than BBRv1, most visible in shallow
+buffers where v1's loss-blind 2xBDP inflight keeps the queue overflowing
+while v2's loss-learned ``inflight_hi`` backs off. We reproduce that shape on
+the picoquic profile at two buffer depths.
+"""
+
+from benchmarks.conftest import publish, scaled
+from repro.framework.config import NetworkConfig
+from repro.framework.experiment import Experiment
+from repro.metrics.report import render_table
+
+BUFFERS = (0.5, 2.0)
+
+
+def _collect():
+    out = {}
+    for mult in BUFFERS:
+        net = NetworkConfig(buffer_bdp_multiplier=mult)
+        for cca in ("bbr", "bbr2"):
+            cfg = scaled(stack="picoquic", cca=cca, network=net, repetitions=1)
+            out[(mult, cca)] = Experiment(cfg, seed=cfg.seed).run()
+    return out
+
+
+def test_ext_bbr2_vs_bbr(benchmark):
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = [
+        [
+            f"{mult} x BDP buffer, {cca}",
+            f"{results[(mult, cca)].goodput_mbps:.2f}",
+            str(results[(mult, cca)].dropped),
+            str(results[(mult, cca)].server_stats["stream_bytes_retx"]),
+        ]
+        for mult in BUFFERS
+        for cca in ("bbr", "bbr2")
+    ]
+    publish(
+        "ext_bbr2",
+        render_table(
+            ["configuration", "goodput [Mbit/s]", "dropped", "retx bytes"],
+            rows,
+            title="Extension: BBRv1 vs BBRv2 (Song et al. shape)",
+        ),
+    )
+
+    for r in results.values():
+        assert r.completed
+
+    shallow_v1 = results[(0.5, "bbr")]
+    shallow_v2 = results[(0.5, "bbr2")]
+    deep_v1 = results[(2.0, "bbr")]
+    deep_v2 = results[(2.0, "bbr2")]
+
+    # Shallow buffer: v2 loses far less than v1 (the loss-aware bound)...
+    assert shallow_v2.dropped < shallow_v1.dropped / 2
+    # ...at the cost of throughput (Song et al.'s finding).
+    assert shallow_v2.goodput_mbps < shallow_v1.goodput_mbps
+    assert shallow_v2.goodput_mbps > 8  # but it does not starve
+
+    # Deep (paper) buffer: both are loss-free and comparable.
+    assert deep_v1.dropped == 0 and deep_v2.dropped == 0
+    assert deep_v2.goodput_mbps > 0.85 * deep_v1.goodput_mbps

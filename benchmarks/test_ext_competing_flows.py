@@ -1,0 +1,66 @@
+"""Extension: competing flows over a shared bottleneck (Section 3.4 future
+work: "competing connections... shared queues").
+
+Two contests:
+* homogeneous — two identical quiche flows must share fairly (sanity for the
+  multi-flow substrate);
+* heterogeneous — a well-paced flow (picoquic BBR) against a bursty one
+  (picoquic CUBIC): the paced flow should suffer far less loss for its share
+  of the bandwidth.
+"""
+
+from benchmarks.conftest import REPS, SCALE_MIB, SEED, publish
+from repro.framework.multiflow import FlowSpec, MultiFlowExperiment
+from repro.metrics.report import render_table
+from repro.units import mib
+
+SIZE = mib(max(SCALE_MIB, 2))
+
+
+def _collect():
+    homogeneous = MultiFlowExperiment(
+        [
+            FlowSpec(stack="quiche", qdisc="fq", spurious_rollback=False, file_size=SIZE),
+            FlowSpec(stack="quiche", qdisc="fq", spurious_rollback=False, file_size=SIZE),
+        ],
+        seed=SEED,
+    ).run()
+    heterogeneous = MultiFlowExperiment(
+        [
+            FlowSpec(stack="picoquic", cca="bbr", file_size=SIZE),
+            FlowSpec(stack="picoquic", cca="cubic", file_size=SIZE),
+        ],
+        seed=SEED,
+    ).run()
+    return homogeneous, heterogeneous
+
+
+def test_ext_competing_flows(benchmark):
+    homogeneous, heterogeneous = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    blocks = []
+    for title, result in (
+        ("two identical quiche+FQ flows", homogeneous),
+        ("picoquic BBR vs picoquic CUBIC", heterogeneous),
+    ):
+        rows = [
+            [f.spec.label, f"{f.goodput_mbps:.2f}", str(f.dropped)]
+            for f in result.flows
+        ]
+        rows.append(["(Jain fairness)", f"{result.fairness:.3f}", str(result.total_dropped)])
+        blocks.append(render_table(["flow", "goodput [Mbit/s]", "dropped"], rows, title=title))
+    publish("ext_competing_flows", "\n\n".join(blocks))
+
+    assert homogeneous.all_completed and heterogeneous.all_completed
+
+    # Identical flows share the bottleneck fairly.
+    assert homogeneous.fairness > 0.9
+    # And the pair saturates the link reasonably (> 60 % utilization).
+    assert homogeneous.aggregate_goodput_mbps > 24
+
+    # The paced BBR flow loses far fewer packets than the bursty CUBIC flow.
+    bbr_flow = heterogeneous.flows[0]
+    cubic_flow = heterogeneous.flows[1]
+    assert bbr_flow.dropped <= cubic_flow.dropped
+    # Neither flow is starved.
+    assert min(f.goodput_mbps for f in heterogeneous.flows) > 3

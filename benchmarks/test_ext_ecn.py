@@ -1,0 +1,62 @@
+"""Extension: ECN — congestion signals without packet loss.
+
+Not part of the paper's evaluation, but a natural next step for its
+pacing-vs-loss story: with CE marking at the bottleneck (threshold at a
+quarter of the buffer) and ACK_ECN echoes, a paced CUBIC sender backs off
+*before* the tail-drop point, eliminating bottleneck loss while holding
+goodput. Drops in Tables 1/2 are retransmission and recovery overhead; ECN
+shows how much of that is avoidable with one bit of cooperation.
+"""
+
+from benchmarks.conftest import publish, scaled
+from repro.framework.experiment import Experiment
+from repro.metrics.report import render_table
+
+
+def _run(ecn: bool, stack="quiche"):
+    cfg = scaled(
+        stack=stack, qdisc="fq", spurious_rollback=False, ecn=ecn, repetitions=1
+    )
+    return Experiment(cfg, seed=cfg.seed)
+
+
+def _collect():
+    out = {}
+    for ecn in (False, True):
+        e = _run(ecn)
+        out[ecn] = (e.run(), e.bottleneck)
+    return out
+
+
+def test_ext_ecn(benchmark):
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = []
+    for ecn, (r, bneck) in results.items():
+        rows.append(
+            [
+                "ECN" if ecn else "no ECN",
+                f"{r.goodput_mbps:.2f}",
+                str(r.dropped),
+                str(getattr(bneck, "ce_marked", 0)),
+                str(r.server_stats["stream_bytes_retx"]),
+            ]
+        )
+    publish(
+        "ext_ecn",
+        render_table(
+            ["configuration", "goodput [Mbit/s]", "dropped", "CE marked", "retx bytes"],
+            rows,
+            title="Extension: ECN vs tail drop (quiche + FQ + SF)",
+        ),
+    )
+
+    plain, _ = results[False]
+    ecn, ecn_bneck = results[True]
+    assert plain.completed and ecn.completed
+    # CE marking replaces drops almost entirely...
+    assert ecn_bneck.ce_marked > 0
+    assert ecn.dropped < plain.dropped * 0.25
+    # ...without sacrificing goodput or adding retransmission overhead.
+    assert ecn.goodput_mbps > 0.9 * plain.goodput_mbps
+    assert ecn.server_stats["stream_bytes_retx"] <= plain.server_stats["stream_bytes_retx"]

@@ -1,0 +1,60 @@
+"""Figure 3: distribution of packets across packet-train lengths (baseline).
+
+Paper observations: TCP/TLS and ngtcp2 keep >99.9 % of packets in trains of
+five or fewer; quiche reaches ~89 %; picoquic only ~60 %, with ~40 % of its
+packets inside 16-17-packet bursts (sent after ~5 ms idle roughly every
+10 ms).
+"""
+
+from collections import Counter
+
+from benchmarks.conftest import publish, scaled
+from repro.metrics.report import render_histogram, render_table
+from repro.metrics.trains import (
+    fraction_of_packets_in_trains_leq,
+    packets_by_train_length,
+)
+
+STACKS = ("quiche", "picoquic", "ngtcp2", "tcp")
+
+
+def _collect(runs):
+    dists = {}
+    for stack in STACKS:
+        summary = runs.get(scaled(stack=stack))
+        combined: Counter[int] = Counter()
+        frac_leq5_total = 0.0
+        for records in summary.pooled_records:
+            combined.update(packets_by_train_length(records))
+        dists[stack] = dict(combined)
+    return dists
+
+
+def frac_leq(dist, n):
+    total = sum(dist.values())
+    return sum(v for k, v in dist.items() if k <= n) / total if total else 0.0
+
+
+def test_fig3_baseline_train_lengths(runs, benchmark):
+    dists = benchmark.pedantic(_collect, args=(runs,), rounds=1, iterations=1)
+
+    blocks = []
+    for stack, dist in dists.items():
+        blocks.append(render_histogram(dist, title=f"[{stack}] packets by train length"))
+    rows = [[s, f"{frac_leq(d, 5) * 100:.1f}%"] for s, d in dists.items()]
+    blocks.append(render_table(["stack", "packets in trains <= 5"], rows))
+    publish("fig3_baseline_trains", "\n\n".join(blocks))
+
+    # TCP and ngtcp2: essentially everything in short trains.
+    assert frac_leq(dists["tcp"], 5) > 0.99
+    assert frac_leq(dists["ngtcp2"], 5) > 0.99
+    # quiche: most packets but not all (paper 89 %).
+    assert 0.80 < frac_leq(dists["quiche"], 5) <= 1.0
+    # picoquic: large bursts dominate the tail (paper 60 % <= 5).
+    pico = frac_leq(dists["picoquic"], 5)
+    assert pico < frac_leq(dists["quiche"], 5)
+    assert pico < 0.90
+    # The bucket-sized (15-18 packets) trains carry substantial mass.
+    total = sum(dists["picoquic"].values())
+    bucket_mass = sum(v for k, v in dists["picoquic"].items() if 15 <= k <= 18) / total
+    assert bucket_mass > 0.10

@@ -1,0 +1,73 @@
+"""Section 4.4: pacing precision (expected vs actual send timestamps).
+
+Paper values (stddev of actual-minus-expected, quiche, no GSO):
+
+    no qdisc          0.94 ms
+    FQ                0.12 ms
+    ETF               0.27 ms
+    ETF + LaunchTime  0.28 ms
+
+Shape: FQ is the most precise; ETF is noticeably worse; hardware LaunchTime
+offloading brings no meaningful improvement; no qdisc at all is worst.
+"""
+
+from benchmarks.conftest import publish, scaled
+from repro.metrics.precision import pacing_precision_ns
+from repro.metrics.report import render_table
+from repro.metrics.stats import summarize
+
+QDISCS = ("none", "fq", "etf", "etf-offload")
+LABELS = {
+    "none": "no qdisc",
+    "fq": "FQ",
+    "etf": "ETF",
+    "etf-offload": "ETF + LaunchTime",
+}
+
+
+def _collect(runs):
+    out = {}
+    for qdisc in QDISCS:
+        summary = runs.get(
+            scaled(stack="quiche", qdisc=qdisc, gso="off", spurious_rollback=False)
+        )
+        values = [
+            pacing_precision_ns(r.expected_send_log, r.server_records) / 1e6
+            for r in summary.results
+        ]
+        out[qdisc] = (summarize(values), summary)
+    return out
+
+
+def test_sec44_pacing_precision(runs, benchmark):
+    data = benchmark.pedantic(_collect, args=(runs,), rounds=1, iterations=1)
+
+    rows = [[LABELS[q], f"{data[q][0].mean:.3f} ± {data[q][0].std:.3f} ms"] for q in QDISCS]
+    publish(
+        "sec44_precision",
+        render_table(
+            ["configuration", "pacing precision (stddev)"],
+            rows,
+            title="Section 4.4: pacing precision by qdisc",
+        ),
+    )
+
+    precision = {q: data[q][0].mean for q in QDISCS}
+
+    # FQ is the most precise of all configurations (paper's surprise).
+    assert precision["fq"] < precision["etf"]
+    assert precision["fq"] < precision["etf-offload"]
+    assert precision["fq"] < precision["none"]
+
+    # No qdisc is the least precise (nothing enforces the timestamps).
+    assert precision["none"] > precision["etf"]
+    assert precision["none"] > precision["etf-offload"]
+
+    # LaunchTime does not meaningfully improve over software ETF.
+    assert precision["etf-offload"] > 0.5 * precision["etf"]
+
+    # ETF must not be dropping the traffic to achieve its precision.
+    for q in ("etf", "etf-offload"):
+        for r in data[q][1].results:
+            assert r.completed
+            assert r.qdisc_stats["dropped_late"] == 0

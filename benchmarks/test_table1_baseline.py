@@ -1,0 +1,63 @@
+"""Table 1: goodput and dropped packets for the baseline measurements.
+
+Paper values (100 MiB, 20 reps, 40 Mbit/s bottleneck):
+
+    quiche     687.15 ± 338.12 dropped   34.67 ± 0.64 Mbit/s
+    picoquic   861.45 ±  99.53 dropped   37.09 ± 0.03 Mbit/s
+    ngtcp2     503.45 ±   7.39 dropped   15.93 ± 0.00 Mbit/s
+    TCP/TLS     16.50 ±   0.67 dropped   37.37 ± 0.02 Mbit/s
+
+Shape assertions: TCP/TLS reaches the highest goodput with by far the fewest
+drops; quiche and picoquic get close to the bottleneck rate with hundreds of
+drops; ngtcp2 sits around 16 Mbit/s. (Known deviation: our ngtcp2 model is
+flow-control-limited and drops ~0 packets instead of ~500; see
+EXPERIMENTS.md.)
+"""
+
+from benchmarks.conftest import publish, scaled
+from repro.metrics.report import render_table
+
+STACK_LABELS = {"quiche": "quiche", "picoquic": "picoquic", "ngtcp2": "ngtcp2", "tcp": "TCP/TLS"}
+
+
+def _collect(runs):
+    return {stack: runs.get(scaled(stack=stack)) for stack in STACK_LABELS}
+
+
+def test_table1_baseline(runs, benchmark):
+    summaries = benchmark.pedantic(_collect, args=(runs,), rounds=1, iterations=1)
+
+    rows = []
+    for stack, label in STACK_LABELS.items():
+        s = summaries[stack]
+        rows.append([label, str(s.dropped), str(s.goodput)])
+    publish(
+        "table1_baseline",
+        render_table(
+            ["Implementation", "Dropped packets", "Goodput [Mbit/s]"],
+            rows,
+            title="Table 1: baseline goodput and drops (all CUBIC)",
+        ),
+    )
+
+    for s in summaries.values():
+        assert s.all_completed
+
+    tcp = summaries["tcp"]
+    quiche = summaries["quiche"]
+    picoquic = summaries["picoquic"]
+    ngtcp2 = summaries["ngtcp2"]
+
+    # TCP/TLS: best goodput, fewest drops.
+    assert tcp.goodput.mean >= max(quiche.goodput.mean, picoquic.goodput.mean) - 1.0
+    assert tcp.dropped.mean <= min(quiche.dropped.mean, picoquic.dropped.mean)
+    # quiche/picoquic close to the bottleneck rate.
+    assert quiche.goodput.mean > 28
+    assert picoquic.goodput.mean > 28
+    # ngtcp2 far below everyone (paper: 15.93).
+    assert ngtcp2.goodput.mean < 20
+    assert ngtcp2.goodput.mean < quiche.goodput.mean - 8
+    # QUIC loss-based stacks lose hundreds of packets at full scale; at
+    # reduced scale they still lose far more than TCP.
+    assert quiche.dropped.mean > 10 * max(tcp.dropped.mean, 1)
+    assert picoquic.dropped.mean > 10 * max(tcp.dropped.mean, 1)

@@ -1,0 +1,50 @@
+"""QUIC Steps reproduction library.
+
+A discrete-event simulation study of pacing strategies in QUIC
+implementations, reproducing Kempf et al., "QUIC Steps: Evaluating Pacing
+Strategies in QUIC Implementations" (CoNEXT 2025).
+
+Quick start::
+
+    from repro import ExperimentConfig, run_repetitions
+
+    summary = run_repetitions(ExperimentConfig(stack="picoquic", cca="bbr"))
+    print(summary.describe())
+"""
+
+from repro.framework.config import ExperimentConfig, NetworkConfig
+from repro.framework.experiment import Experiment, ExperimentResult, run_experiment
+from repro.framework.runner import RunSummary, run_repetitions
+from repro.framework import scenarios
+from repro.metrics import (
+    cdf,
+    fraction_leq,
+    fraction_of_packets_in_trains_leq,
+    goodput_mbps,
+    inter_packet_gaps,
+    pacing_precision_ns,
+    packet_trains,
+    packets_by_train_length,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "NetworkConfig",
+    "Experiment",
+    "ExperimentResult",
+    "run_experiment",
+    "RunSummary",
+    "run_repetitions",
+    "scenarios",
+    "cdf",
+    "fraction_leq",
+    "fraction_of_packets_in_trains_leq",
+    "goodput_mbps",
+    "inter_packet_gaps",
+    "pacing_precision_ns",
+    "packet_trains",
+    "packets_by_train_length",
+    "__version__",
+]

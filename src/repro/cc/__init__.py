@@ -1,0 +1,24 @@
+"""Congestion control: NewReno (RFC 9002), CUBIC (RFC 9438, with quiche's
+spurious-loss rollback), HyStart++ (RFC 9406) and a BBRv1-style controller."""
+
+from repro.cc.base import CongestionController
+from repro.cc.newreno import NewReno
+from repro.cc.cubic import Cubic, CubicParams
+from repro.cc.bbr import Bbr, BbrParams
+from repro.cc.bbr2 import Bbr2, Bbr2Params
+from repro.cc.hystart import HyStartPP
+from repro.cc.factory import make_cc, CCA_NAMES
+
+__all__ = [
+    "CongestionController",
+    "NewReno",
+    "Cubic",
+    "CubicParams",
+    "Bbr",
+    "BbrParams",
+    "Bbr2",
+    "Bbr2Params",
+    "HyStartPP",
+    "make_cc",
+    "CCA_NAMES",
+]

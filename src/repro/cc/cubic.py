@@ -1,0 +1,260 @@
+"""CUBIC (RFC 9438) with HyStart++ and quiche's spurious-loss rollback.
+
+The rollback mechanism is the Section 4.2 pathology: quiche checkpoints the
+controller state before each congestion-event reduction, and — besides the
+classic "late ACK for a lost packet" spurious case — also treats a recovery
+episode that ends with *few* lost packets as spurious, restoring the
+checkpoint. Under a pacing qdisc, losses arrive in small dribbles, the
+threshold check keeps passing, and the window oscillates between its
+pre- and post-reduction values ("perpetual congestion window rollbacks",
+Figure 7). The ``spurious_rollback`` flag enables the quiche behaviour; the
+paper's "SF" patch corresponds to disabling it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.cc.base import CongestionController
+from repro.cc.hystart import HyStartPP
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.quic.recovery import SentPacket
+    from repro.quic.rtt import RttEstimator
+from repro.units import SEC
+
+C_CUBIC = 0.4  # segments / second^3
+BETA_CUBIC = 0.7
+ALPHA_AIMD = 3.0 * (1.0 - BETA_CUBIC) / (1.0 + BETA_CUBIC)
+
+
+@dataclass(frozen=True)
+class CubicParams:
+    hystart: bool = True
+    #: Classic kernel-CUBIC ACK-train detection on top of HyStart++ (the
+    #: TCP/TLS comparator uses it; QUIC stacks implement plain RFC 9406).
+    hystart_ack_train: bool = False
+    fast_convergence: bool = True
+    #: quiche-style checkpoint/rollback on spurious congestion events.
+    spurious_rollback: bool = False
+    #: A recovery episode with fewer additional lost packets than
+    #: ``max(rollback_loss_threshold, rollback_loss_fraction x cwnd_packets)``
+    #: is considered spurious (quiche's small-loss heuristic scales with the
+    #: window, which is how Figure 7's rollbacks persist under heavy loss).
+    rollback_loss_threshold: int = 5
+    rollback_loss_fraction: float = 0.10
+
+
+@dataclass
+class _Checkpoint:
+    cwnd: int
+    ssthresh: float
+    w_max: float
+    k: float
+    epoch_start: int
+    w_est: float
+    lost_total: int
+    recovery_start_time: int
+
+
+class Cubic(CongestionController):
+    name = "cubic"
+
+    def __init__(self, params: CubicParams = CubicParams(), **kwargs):
+        super().__init__(**kwargs)
+        self.params = params
+        self.hystart = HyStartPP(enabled=params.hystart, ack_train=params.hystart_ack_train)
+        self.w_max = 0.0  # segments
+        self.k = 0.0  # seconds
+        self.epoch_start = -1
+        self.w_est = 0.0  # bytes, Reno-friendly estimate
+        self._round_end_pn = -1
+        self._highest_sent_pn = -1
+        self._checkpoint: Optional[_Checkpoint] = None
+        self.rollbacks = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def _cwnd_segments(self) -> float:
+        return self.cwnd / self.mtu
+
+    def _w_cubic(self, t_seconds: float) -> float:
+        return C_CUBIC * (t_seconds - self.k) ** 3 + self.w_max
+
+    def _update_rounds(self, largest_acked_pn: int, rtt: "RttEstimator", now: int) -> None:
+        if largest_acked_pn > self._round_end_pn:
+            self._round_end_pn = self._highest_sent_pn
+            self.hystart.on_round_start()
+        if rtt.latest_rtt > 0:
+            self.hystart.on_rtt_sample(rtt.latest_rtt)
+        self.hystart.on_ack_arrival(now, rtt.min_rtt)
+
+    def on_packet_sent(self, sp: SentPacket, bytes_in_flight: int, now: int) -> None:
+        self._highest_sent_pn = max(self._highest_sent_pn, sp.pn)
+
+    # -- acks ------------------------------------------------------------------
+
+    def on_packets_acked(
+        self,
+        acked: Sequence[SentPacket],
+        now: int,
+        rtt: RttEstimator,
+        bytes_in_flight: int,
+        lost_packets_total: int = 0,
+    ) -> None:
+        if not acked:
+            return
+        self._update_rounds(acked[-1].pn, rtt, now)
+        self._maybe_rollback(acked[-1], now, lost_packets_total)
+        # Only grow when the window was actually utilized (RFC 9002 §7.8 /
+        # quiche's is_cwnd_limited): an app- or flow-control-limited sender
+        # must not inflate cwnd it never uses.
+        acked_bytes = sum(sp.size for sp in acked)
+        if bytes_in_flight + acked_bytes < self.cwnd - self.mtu:
+            self._record(now)
+            return
+        for sp in acked:
+            if self.in_recovery(sp.time_sent):
+                continue
+            if sp.is_app_limited:
+                continue  # RFC 9002 §7.8: no growth for underutilized windows
+            if self.in_slow_start:
+                self.cwnd += self.hystart.growth(sp.size)
+                if self.hystart.should_exit_slow_start:
+                    self.ssthresh = self.cwnd
+            else:
+                self._congestion_avoidance(sp.size, now, rtt)
+        self._record(now)
+
+    def _congestion_avoidance(self, acked_bytes: int, now: int, rtt: RttEstimator) -> None:
+        if self.epoch_start < 0:
+            self.epoch_start = now
+            if self.w_max < self._cwnd_segments:
+                self.w_max = self._cwnd_segments
+                self.k = 0.0
+            else:
+                self.k = ((self.w_max * (1 - BETA_CUBIC)) / C_CUBIC) ** (1 / 3)
+            self.w_est = float(self.cwnd)
+        t = (now - self.epoch_start + rtt.smoothed_rtt) / SEC
+        target_seg = self._w_cubic(t)
+        cwnd_seg = self._cwnd_segments
+        # Clamp target per RFC 9438 §4.4.
+        target_seg = min(max(target_seg, cwnd_seg), 1.5 * cwnd_seg)
+        # Reno-friendly region.
+        self.w_est += ALPHA_AIMD * acked_bytes * self.mtu / self.cwnd
+        if target_seg * self.mtu < self.w_est:
+            self.cwnd = max(self.cwnd, int(self.w_est))
+        else:
+            gain_seg = (target_seg - cwnd_seg) / cwnd_seg
+            self.cwnd += int(gain_seg * acked_bytes)
+
+    # -- losses ------------------------------------------------------------------
+
+    def on_packets_lost(
+        self,
+        lost: Sequence[SentPacket],
+        now: int,
+        bytes_in_flight: int,
+        lost_packets_total: int,
+    ) -> None:
+        if not lost:
+            return
+        largest_sent_time = max(sp.time_sent for sp in lost)
+        if not self._should_trigger_congestion_event(largest_sent_time):
+            return
+        if self.params.spurious_rollback:
+            self._checkpoint = _Checkpoint(
+                cwnd=self.cwnd,
+                ssthresh=self.ssthresh,
+                w_max=self.w_max,
+                k=self.k,
+                epoch_start=self.epoch_start,
+                w_est=self.w_est,
+                lost_total=lost_packets_total - len(lost),
+                recovery_start_time=self.recovery_start_time,
+            )
+        self.congestion_events += 1
+        self.recovery_start_time = now
+        cwnd_seg = self._cwnd_segments
+        if self.params.fast_convergence and cwnd_seg < self.w_max:
+            self.w_max = cwnd_seg * (2 - BETA_CUBIC) / 2
+        else:
+            self.w_max = cwnd_seg
+        self.ssthresh = max(self.cwnd * BETA_CUBIC, float(self.min_cwnd))
+        self.cwnd = int(self.ssthresh)
+        self.k = ((self.w_max * (1 - BETA_CUBIC)) / C_CUBIC) ** (1 / 3)
+        self.epoch_start = -1
+        self.hystart.done = True  # loss always ends slow start
+        self._record(now)
+
+    def on_persistent_congestion(self, now: int) -> None:
+        super().on_persistent_congestion(now)
+        self.w_max = self._cwnd_segments
+        self.k = 0.0
+        self.epoch_start = -1
+        self.ssthresh = float(self.cwnd)
+        self.hystart.done = True
+        self._checkpoint = None  # no rollback across a collapse
+
+    def on_ecn_ce(self, now: int, sent_time: int) -> None:
+        """CE echo = congestion event without loss (RFC 9002 §7.1): the same
+        multiplicative reduction as a loss event, once per recovery epoch."""
+        if not self._should_trigger_congestion_event(sent_time):
+            return
+        self.congestion_events += 1
+        self.recovery_start_time = now
+        cwnd_seg = self._cwnd_segments
+        if self.params.fast_convergence and cwnd_seg < self.w_max:
+            self.w_max = cwnd_seg * (2 - BETA_CUBIC) / 2
+        else:
+            self.w_max = cwnd_seg
+        self.ssthresh = max(self.cwnd * BETA_CUBIC, float(self.min_cwnd))
+        self.cwnd = int(self.ssthresh)
+        self.k = ((self.w_max * (1 - BETA_CUBIC)) / C_CUBIC) ** (1 / 3)
+        self.epoch_start = -1
+        self.hystart.done = True
+        self._record(now)
+
+    def _maybe_rollback(
+        self, largest_acked: SentPacket, now: int, lost_packets_total: int
+    ) -> None:
+        """quiche's spurious-congestion-event rollback."""
+        cp = self._checkpoint
+        if cp is None or not self.params.spurious_rollback:
+            return
+        if largest_acked.time_sent <= self.recovery_start_time:
+            return
+        lost_since = lost_packets_total - cp.lost_total
+        threshold = max(
+            self.params.rollback_loss_threshold,
+            int(self.params.rollback_loss_fraction * cp.cwnd / self.mtu),
+        )
+        if lost_since < threshold:
+            self.cwnd = cp.cwnd
+            self.ssthresh = cp.ssthresh
+            self.w_max = cp.w_max
+            self.k = cp.k
+            self.epoch_start = cp.epoch_start
+            self.w_est = cp.w_est
+            self.rollbacks += 1
+        self._checkpoint = None
+
+    def on_spurious_loss(
+        self, pns: Sequence[int], now: int, lost_packets_total: int
+    ) -> None:
+        """Late ACKs for declared-lost packets also arm the rollback path."""
+        if not self.params.spurious_rollback or self._checkpoint is None:
+            return
+        self.cwnd = self._checkpoint.cwnd
+        self.ssthresh = self._checkpoint.ssthresh
+        self.w_max = self._checkpoint.w_max
+        self.k = self._checkpoint.k
+        self.epoch_start = self._checkpoint.epoch_start
+        self.w_est = self._checkpoint.w_est
+        self.rollbacks += 1
+        self._checkpoint = None
+        self._record(now)

@@ -1,0 +1,45 @@
+"""Construct a congestion controller from its experiment-config name."""
+
+from __future__ import annotations
+
+from repro.cc.base import CongestionController
+from repro.cc.bbr import Bbr, BbrParams, NGTCP2_BBR_PARAMS
+from repro.cc.bbr2 import Bbr2, Bbr2Params
+from repro.cc.cubic import Cubic, CubicParams
+from repro.cc.newreno import NewReno
+from repro.errors import ConfigError
+
+CCA_NAMES = ("cubic", "newreno", "bbr", "bbr2")
+
+
+def make_cc(
+    kind: str,
+    mtu: int = 1252,
+    hystart: bool = True,
+    spurious_rollback: bool = False,
+    rollback_loss_threshold: int = 5,
+    bbr_params: BbrParams | None = None,
+    initial_window_packets: int = 10,
+) -> CongestionController:
+    """Build the controller named ``kind`` with library-profile quirks applied."""
+    if kind == "cubic":
+        return Cubic(
+            params=CubicParams(
+                hystart=hystart,
+                spurious_rollback=spurious_rollback,
+                rollback_loss_threshold=rollback_loss_threshold,
+            ),
+            mtu=mtu,
+            initial_window_packets=initial_window_packets,
+        )
+    if kind == "newreno":
+        return NewReno(hystart=hystart, mtu=mtu, initial_window_packets=initial_window_packets)
+    if kind == "bbr":
+        return Bbr(
+            params=bbr_params or BbrParams(),
+            mtu=mtu,
+            initial_window_packets=initial_window_packets,
+        )
+    if kind == "bbr2":
+        return Bbr2(mtu=mtu, initial_window_packets=initial_window_packets)
+    raise ConfigError(f"unknown congestion controller {kind!r}; expected one of {CCA_NAMES}")

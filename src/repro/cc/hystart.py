@@ -1,0 +1,121 @@
+"""HyStart++ (RFC 9406): exit slow start on sustained RTT increase.
+
+The mechanism behind the paper's Section 4.3 finding: with *bursty* GSO
+traffic the bottleneck queue (and hence the RTT) grows quickly, HyStart++
+fires early and slow start ends with a small overshoot; with *paced* traffic
+the RTT rises slowly, HyStart++ fires late or not at all, and slow start ends
+in a large loss burst instead — "packet loss increases to nearly ten times
+that of unpaced GSO".
+
+Implements the RFC's round-trip logic: per round, compare the minimum RTT
+against the previous round's minimum plus a clamped eta; after the trigger,
+run Conservative Slow Start (CSS) for up to ``CSS_ROUNDS`` rounds, falling
+back to slow start if the RTT recovers, otherwise ending slow start.
+"""
+
+from __future__ import annotations
+
+from repro.units import ms
+
+MIN_RTT_THRESH = ms(4)
+MAX_RTT_THRESH = ms(16)
+MIN_RTT_DIVISOR = 8
+N_RTT_SAMPLE = 8
+CSS_GROWTH_DIVISOR = 4
+CSS_ROUNDS = 5
+
+
+class HyStartPP:
+    """Round-based HyStart++ state machine.
+
+    The owning controller reports round boundaries (via packet numbers) and
+    RTT samples; this class answers "by how much may cwnd grow for this many
+    acked bytes" and "has slow start ended".
+    """
+
+    def __init__(
+        self, enabled: bool = True, ack_train: bool = False, ack_train_fraction: float = 1.0
+    ):
+        self.enabled = enabled
+        #: Classic-HyStart ACK-train detection (Linux kernel CUBIC enables it
+        #: alongside the delay heuristic; RFC 9406 HyStart++ does not).
+        #: ``ack_train_fraction`` scales the min-RTT span that ends slow start
+        #: (1.0 = exit when a round's ACKs span a full minimum RTT, i.e. the
+        #: pipe is just full).
+        self.ack_train = ack_train
+        self.ack_train_fraction = ack_train_fraction
+        self.in_css = False
+        self.css_round_count = 0
+        self.done = False
+
+        self._current_round_min = None
+        self._last_round_min = None
+        self._rtt_samples_this_round = 0
+        self._css_baseline = None
+        self._round_first_ack_ns = None
+
+    def on_ack_arrival(self, now_ns: int, min_rtt_ns: int) -> None:
+        """ACK-train heuristic: if this round's ACKs already span half the
+        minimum RTT, the pipe is full — end slow start immediately."""
+        if not (self.enabled and self.ack_train) or self.done:
+            return
+        if self._round_first_ack_ns is None:
+            self._round_first_ack_ns = now_ns
+            return
+        if (
+            min_rtt_ns > 0
+            and now_ns - self._round_first_ack_ns
+            >= int(min_rtt_ns * self.ack_train_fraction)
+        ):
+            self.done = True
+
+    def on_round_start(self) -> None:
+        self._round_first_ack_ns = None
+        if not self.enabled or self.done:
+            return
+        if self.in_css:
+            self.css_round_count += 1
+            if self.css_round_count >= CSS_ROUNDS:
+                self.done = True
+                return
+        self._last_round_min = self._current_round_min
+        self._current_round_min = None
+        self._rtt_samples_this_round = 0
+
+    def on_rtt_sample(self, rtt_ns: int) -> None:
+        if not self.enabled or self.done:
+            return
+        self._rtt_samples_this_round += 1
+        if self._current_round_min is None or rtt_ns < self._current_round_min:
+            self._current_round_min = rtt_ns
+        if self._rtt_samples_this_round < N_RTT_SAMPLE:
+            return
+        if self._last_round_min is None or self._current_round_min is None:
+            return
+        eta = min(
+            max(self._last_round_min // MIN_RTT_DIVISOR, MIN_RTT_THRESH), MAX_RTT_THRESH
+        )
+        if not self.in_css:
+            if self._current_round_min >= self._last_round_min + eta:
+                # RTT is climbing: switch to conservative slow start.
+                self.in_css = True
+                self.css_round_count = 0
+                self._css_baseline = self._last_round_min
+        else:
+            if (
+                self._css_baseline is not None
+                and self._current_round_min < self._css_baseline + eta
+            ):
+                # RTT recovered — the increase was transient; resume slow start.
+                self.in_css = False
+                self._css_baseline = None
+
+    def growth(self, acked_bytes: int) -> int:
+        """cwnd growth allowed in slow start for ``acked_bytes`` acked."""
+        if self.in_css:
+            return acked_bytes // CSS_GROWTH_DIVISOR
+        return acked_bytes
+
+    @property
+    def should_exit_slow_start(self) -> bool:
+        return self.done

@@ -1,0 +1,92 @@
+"""NewReno congestion control as specified in RFC 9002 Appendix B."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cc.base import CongestionController
+from repro.cc.hystart import HyStartPP
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.quic.recovery import SentPacket
+    from repro.quic.rtt import RttEstimator
+
+LOSS_REDUCTION_FACTOR = 0.5
+
+
+class NewReno(CongestionController):
+    name = "newreno"
+
+    def __init__(self, hystart: bool = True, **kwargs):
+        super().__init__(**kwargs)
+        self.hystart = HyStartPP(enabled=hystart)
+        self._round_end_pn = -1
+        self._highest_sent_pn = -1
+
+    def on_packet_sent(self, sp: SentPacket, bytes_in_flight: int, now: int) -> None:
+        self._highest_sent_pn = max(self._highest_sent_pn, sp.pn)
+
+    def _update_rounds(self, largest_acked_pn: int, latest_rtt: int) -> None:
+        if largest_acked_pn > self._round_end_pn:
+            self._round_end_pn = self._highest_sent_pn
+            self.hystart.on_round_start()
+        if latest_rtt > 0:
+            self.hystart.on_rtt_sample(latest_rtt)
+
+    def on_packets_acked(
+        self,
+        acked: Sequence[SentPacket],
+        now: int,
+        rtt: RttEstimator,
+        bytes_in_flight: int,
+        lost_packets_total: int = 0,
+    ) -> None:
+        if not acked:
+            return
+        self._update_rounds(acked[-1].pn, rtt.latest_rtt)
+        # Only grow when the window was actually utilized (RFC 9002 §7.8).
+        acked_bytes = sum(sp.size for sp in acked)
+        if bytes_in_flight + acked_bytes < self.cwnd - self.mtu:
+            self._record(now)
+            return
+        for sp in acked:
+            if self.in_recovery(sp.time_sent):
+                continue
+            if sp.is_app_limited:
+                continue  # RFC 9002 §7.8: no growth for underutilized windows
+            if self.in_slow_start:
+                self.cwnd += self.hystart.growth(sp.size)
+                if self.hystart.should_exit_slow_start:
+                    self.ssthresh = self.cwnd
+            else:
+                self.cwnd += self.mtu * sp.size // self.cwnd
+        self._record(now)
+
+    def on_ecn_ce(self, now: int, sent_time: int) -> None:
+        """CE echo = congestion event without loss (RFC 9002 §7.1)."""
+        if not self._should_trigger_congestion_event(sent_time):
+            return
+        self.congestion_events += 1
+        self.recovery_start_time = now
+        self.cwnd = max(int(self.cwnd * LOSS_REDUCTION_FACTOR), self.min_cwnd)
+        self.ssthresh = self.cwnd
+        self._record(now)
+
+    def on_packets_lost(
+        self,
+        lost: Sequence[SentPacket],
+        now: int,
+        bytes_in_flight: int,
+        lost_packets_total: int,
+    ) -> None:
+        if not lost:
+            return
+        largest_sent_time = max(sp.time_sent for sp in lost)
+        if not self._should_trigger_congestion_event(largest_sent_time):
+            return
+        self.congestion_events += 1
+        self.recovery_start_time = now
+        self.cwnd = max(int(self.cwnd * LOSS_REDUCTION_FACTOR), self.min_cwnd)
+        self.ssthresh = self.cwnd
+        self._record(now)

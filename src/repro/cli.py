@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``      — run one configuration and print the paper metrics;
+* ``compete``  — run several flows against each other over one bottleneck;
+* ``analyze``  — run the paper's evaluation pipeline on a capture CSV
+  (including captures exported with ``run --capture`` or converted from the
+  paper's published pcaps);
+* ``scenarios``— list the canonical paper scenarios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.framework.config import ExperimentConfig, GSO_MODES, QDISCS, STACKS
+from repro.framework.multiflow import FlowSpec, MultiFlowExperiment
+from repro.framework.runner import run_repetitions
+from repro.metrics.gaps import fraction_leq, inter_packet_gaps
+from repro.metrics.report import render_histogram, render_table
+from repro.metrics.trains import fraction_of_packets_in_trains_leq, packets_by_train_length
+from repro.units import fmt_time, mib, us
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cca", default="cubic", choices=("cubic", "newreno", "bbr", "bbr2"))
+    parser.add_argument("--qdisc", default="none", choices=QDISCS)
+    parser.add_argument("--gso", default="off", choices=GSO_MODES)
+    parser.add_argument("--size-mib", type=float, default=4.0, help="file size in MiB")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        stack=args.stack,
+        cca=args.cca,
+        qdisc=args.qdisc,
+        gso=args.gso,
+        spurious_rollback=args.sf if args.stack == "quiche" else None,
+        file_size=int(args.size_mib * 1024 * 1024),
+        repetitions=args.reps,
+        seed=args.seed,
+    )
+    config.validate()
+    print(f"running {config.label} x{config.repetitions} ...")
+    summary = run_repetitions(config)
+    print(summary.describe())
+
+    records = summary.results[0].server_records
+    gaps = inter_packet_gaps(records)
+    print(f"back-to-back share: {fraction_leq(gaps, us(15)) * 100:.1f}%")
+    print(
+        f"packets in trains <= 5: "
+        f"{fraction_of_packets_in_trains_leq(records, 5) * 100:.1f}%"
+    )
+    print(render_histogram(packets_by_train_length(records), title="train lengths (rep 0)"))
+
+    if args.json:
+        from repro.framework.artifacts import save_summary
+
+        path = save_summary(summary, args.json)
+        print(f"saved {path}")
+    if args.capture:
+        from repro.metrics.capture_io import save_capture
+
+        path = save_capture(records, args.capture)
+        print(f"saved capture {path}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.metrics.capture_io import load_capture
+    from repro.metrics.gaps import cdf
+    from repro.metrics.report import render_cdf
+    from repro.metrics.timeline import analyze_cycle
+
+    records = load_capture(args.capture)
+    if args.src:
+        records = [r for r in records if r.flow[0] == args.src]
+    if not records:
+        print("no records after filtering")
+        return 1
+    duration = records[-1].time_ns - records[0].time_ns
+    print(f"{len(records)} frames over {fmt_time(duration)}")
+
+    gaps = inter_packet_gaps(records)
+    print(render_cdf({"gaps": cdf(gaps)}, title="inter-packet gap CDF"))
+    print(f"back-to-back share (<= 15 us): {fraction_leq(gaps, us(15)) * 100:.1f}%")
+    print(
+        "packets in trains <= 5:        "
+        f"{fraction_of_packets_in_trains_leq(records, 5) * 100:.1f}%"
+    )
+    print(render_histogram(packets_by_train_length(records), title="train lengths"))
+    report = analyze_cycle(records)
+    if report.burst_count:
+        print(
+            f"bursts: {report.burst_count} (median {report.median_burst_packets:.0f} pkts), "
+            f"median idle {report.median_idle_ns / 1e6:.1f} ms, "
+            f"dominant cycle {report.cycle_ns / 1e6 if report.cycle_ns else float('nan'):.1f} ms"
+        )
+    return 0
+
+
+def _cmd_compete(args: argparse.Namespace) -> int:
+    specs: List[FlowSpec] = []
+    for raw in args.flows:
+        parts = raw.split(":")
+        stack = parts[0]
+        cca = parts[1] if len(parts) > 1 else "cubic"
+        qdisc = parts[2] if len(parts) > 2 else "none"
+        specs.append(
+            FlowSpec(
+                stack=stack, cca=cca, qdisc=qdisc, file_size=int(args.size_mib * 1024 * 1024)
+            )
+        )
+    print(f"running {len(specs)} competing flows ...")
+    result = MultiFlowExperiment(specs, seed=args.seed).run()
+    rows = [
+        [f.spec.label, str(f.completed), fmt_time(f.duration_ns), f"{f.goodput_mbps:.2f}", str(f.dropped)]
+        for f in result.flows
+    ]
+    print(render_table(["flow", "done", "duration", "goodput [Mbit/s]", "dropped"], rows))
+    print(f"Jain fairness: {result.fairness:.3f}   aggregate: {result.aggregate_goodput_mbps:.2f} Mbit/s")
+    return 0
+
+
+def _cmd_scenarios(_args: argparse.Namespace) -> int:
+    from repro.framework import scenarios
+
+    rows = []
+    for stack, cfg in scenarios.all_baselines().items():
+        rows.append(["baseline", cfg.label])
+    rows.append(["section 4.2", scenarios.quiche_fq(True).label])
+    rows.append(["section 4.2 (SF)", scenarios.quiche_fq(False).label])
+    for mode in ("off", "on", "paced"):
+        rows.append(["section 4.3", scenarios.quiche_gso(mode).label])
+    for qdisc in ("none", "fq", "etf", "etf-offload"):
+        rows.append(["section 4.4", scenarios.precision_config(qdisc).label])
+    print(render_table(["experiment", "configuration"], rows, title="paper scenarios"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="QUIC Steps reproduction — pacing experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one configuration")
+    run_p.add_argument("stack", choices=STACKS)
+    _add_common(run_p)
+    run_p.add_argument("--reps", type=int, default=1)
+    run_p.add_argument(
+        "--sf", action="store_true", default=None,
+        help="apply the paper's SF patch (disable quiche's rollback)",
+    )
+    run_p.add_argument("--json", metavar="PATH", help="save results as JSON")
+    run_p.add_argument("--capture", metavar="PATH", help="save the capture as CSV")
+    run_p.set_defaults(func=_cmd_run)
+
+    analyze_p = sub.add_parser("analyze", help="analyze a capture CSV")
+    analyze_p.add_argument("capture", help="capture CSV (see repro.metrics.capture_io)")
+    analyze_p.add_argument("--src", help="only frames from this source address")
+    analyze_p.set_defaults(func=_cmd_analyze)
+
+    compete_p = sub.add_parser("compete", help="run competing flows")
+    compete_p.add_argument(
+        "flows", nargs="+", metavar="STACK[:CCA[:QDISC]]",
+        help="e.g. quiche:cubic:fq picoquic:bbr tcp",
+    )
+    compete_p.add_argument("--size-mib", type=float, default=4.0)
+    compete_p.add_argument("--seed", type=int, default=1)
+    compete_p.set_defaults(func=_cmd_compete)
+
+    scen_p = sub.add_parser("scenarios", help="list the paper's scenarios")
+    scen_p.set_defaults(func=_cmd_scenarios)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    # `--sf` flips rollback off; stock behaviour is rollback on (None keeps
+    # the stack default, which for quiche is rollback enabled).
+    if getattr(args, "sf", None):
+        args.sf = False
+    elif hasattr(args, "sf"):
+        args.sf = None
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class SimulationError(ReproError):
+    """The event engine was used incorrectly (e.g. scheduling in the past)."""
+
+
+class ProtocolError(ReproError):
+    """A QUIC/TCP protocol invariant was violated."""
+
+
+class EncodingError(ProtocolError):
+    """Wire encoding or decoding failed."""
+
+
+class FlowControlError(ProtocolError):
+    """A peer exceeded an advertised flow-control limit."""
+
+
+class ConfigError(ReproError):
+    """An experiment or stack configuration is invalid."""

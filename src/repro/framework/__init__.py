@@ -1,0 +1,15 @@
+"""Measurement framework: reproducible single-connection experiments over the
+emulated testbed, with repetition and aggregation (paper Section 3)."""
+
+from repro.framework.config import ExperimentConfig, NetworkConfig
+from repro.framework.experiment import Experiment, ExperimentResult
+from repro.framework.runner import run_repetitions, RunSummary
+
+__all__ = [
+    "ExperimentConfig",
+    "NetworkConfig",
+    "Experiment",
+    "ExperimentResult",
+    "run_repetitions",
+    "RunSummary",
+]

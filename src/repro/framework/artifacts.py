@@ -1,0 +1,68 @@
+"""Result persistence: experiment outputs as JSON artifacts.
+
+Mirrors the paper's artifact practice (all measurement data published for
+re-analysis): every run can be serialized with enough detail to recompute
+the evaluation metrics without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.framework.experiment import ExperimentResult
+from repro.framework.runner import RunSummary
+from repro.metrics.gaps import fraction_leq, inter_packet_gaps
+from repro.metrics.trains import fraction_of_packets_in_trains_leq, packets_by_train_length
+from repro.units import us
+
+
+def result_to_dict(result: ExperimentResult, include_capture: bool = False) -> Dict[str, Any]:
+    """Serialize one repetition (capture records optional — they are big)."""
+    gaps = inter_packet_gaps(result.server_records)
+    out = {
+        "config": dataclasses.asdict(result.config),
+        "seed": result.seed,
+        "completed": result.completed,
+        "duration_ns": result.duration_ns,
+        "goodput_mbps": result.goodput_mbps,
+        "dropped": result.dropped,
+        "packets_on_wire": result.packets_on_wire,
+        "qdisc_stats": result.qdisc_stats,
+        "server_stats": result.server_stats,
+        "metrics": {
+            "back_to_back_share": fraction_leq(gaps, us(15)),
+            "trains_leq5_share": fraction_of_packets_in_trains_leq(result.server_records, 5),
+            "packets_by_train_length": {
+                str(k): v for k, v in sorted(packets_by_train_length(result.server_records).items())
+            },
+        },
+    }
+    if include_capture:
+        out["capture"] = [
+            {"t_ns": r.time_ns, "pn": r.packet_number, "size": r.wire_size}
+            for r in result.server_records
+        ]
+    return out
+
+
+def summary_to_dict(summary: RunSummary, include_capture: bool = False) -> Dict[str, Any]:
+    return {
+        "label": summary.config.label,
+        "goodput_mbps": {"mean": summary.goodput.mean, "std": summary.goodput.std},
+        "dropped": {"mean": summary.dropped.mean, "std": summary.dropped.std},
+        "repetitions": [result_to_dict(r, include_capture) for r in summary.results],
+    }
+
+
+def save_summary(summary: RunSummary, path: str | Path, include_capture: bool = False) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(summary_to_dict(summary, include_capture), indent=2))
+    return path
+
+
+def load_summary_dict(path: str | Path) -> Dict[str, Any]:
+    return json.loads(Path(path).read_text())

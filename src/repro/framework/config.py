@@ -1,0 +1,122 @@
+"""Experiment configuration.
+
+Defaults mirror the paper's setup: 1 Gbit/s access links, an emulated
+40 Mbit/s bottleneck with 40 ms minimum RTT, a bottleneck buffer of two
+bandwidth-delay products, a 100 MiB download (scaled down by default for
+simulation speed — see EXPERIMENTS.md) repeated N times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.units import SEC, gbit, mbit, mib, ms, seconds, us
+
+STACKS = ("quiche", "picoquic", "ngtcp2", "tcp")
+QDISCS = ("none", "fq", "fq_codel", "etf", "etf-offload")
+GSO_MODES = ("off", "on", "paced")
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    link_rate_bps: int = gbit(1)
+    bottleneck_rate_bps: int = mbit(40)
+    one_way_delay_ns: int = ms(20)
+    buffer_bdp_multiplier: float = 2.0
+    tbf_burst_bytes: int = 5_000
+    #: Bottleneck model: "tbf" (the paper's wired shaper) or "wifi" (channel
+    #: access with frame aggregation, for the Manzoor et al. scenario).
+    bottleneck: str = "tbf"
+    wifi_phy_rate_bps: int = mbit(60)
+    wifi_access_overhead_ns: int = us(400)
+    wifi_max_aggregate: int = 32
+
+    @property
+    def min_rtt_ns(self) -> int:
+        return 2 * self.one_way_delay_ns
+
+    @property
+    def bdp_bytes(self) -> int:
+        return self.bottleneck_rate_bps * self.min_rtt_ns // (8 * SEC)
+
+    @property
+    def buffer_bytes(self) -> int:
+        return int(self.bdp_bytes * self.buffer_bdp_multiplier)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    stack: str = "quiche"
+    cca: str = "cubic"
+    qdisc: str = "none"
+    gso: str = "off"
+    #: Segments per GSO buffer (the paper discusses the buffer-size trade-off
+    #: between syscall savings and burstiness).
+    gso_segments: int = 10
+    #: Force a pacing mode instead of the stack's own ("none" reproduces the
+    #: pacing-disabled ablation of Manzoor et al. discussed in related work).
+    pacing_override: Optional[str] = None
+    #: Override the client's ACK policy (the ACK-frequency discussion of
+    #: Section 2: fewer ACKs weaken ACK-clocking and cause bursts without
+    #: pacing). None keeps the stack's own client behaviour.
+    client_ack_threshold: Optional[int] = None
+    client_max_ack_delay_ns: Optional[int] = None
+    #: Override the leaky-bucket depth in packets (picoquic's burst size).
+    bucket_packets: Optional[int] = None
+    #: None = the stack's stock behaviour (quiche: rollback enabled).
+    #: False models the paper's "SF" patch.
+    spurious_rollback: Optional[bool] = None
+    file_size: int = mib(8)
+    #: Parallel objects (HTTP/3 streams) the download is split across; the
+    #: paper uses a single object, web workloads use many.
+    objects: int = 1
+    repetitions: int = 5
+    seed: int = 1
+    etf_delta_ns: int = us(200)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    max_sim_time_ns: int = seconds(180)
+    trace_cwnd: bool = False
+    trace_queue: bool = False
+    #: Attach a qlog-style event trace to the server connection.
+    qlog: bool = False
+    #: Negotiate ECN end-to-end and enable CE marking at the bottleneck
+    #: (extension: congestion signals without loss).
+    ecn: bool = False
+
+    def validate(self) -> None:
+        if self.stack not in STACKS:
+            raise ConfigError(f"unknown stack {self.stack!r}; expected one of {STACKS}")
+        if self.qdisc not in QDISCS:
+            raise ConfigError(f"unknown qdisc {self.qdisc!r}; expected one of {QDISCS}")
+        if self.gso not in GSO_MODES:
+            raise ConfigError(f"unknown gso mode {self.gso!r}; expected one of {GSO_MODES}")
+        if self.file_size <= 0:
+            raise ConfigError("file_size must be positive")
+        if self.repetitions <= 0:
+            raise ConfigError("repetitions must be positive")
+        if self.objects <= 0:
+            raise ConfigError("objects must be positive")
+        if self.objects > 1 and self.stack == "tcp":
+            raise ConfigError("multi-object downloads are QUIC-only here")
+        if self.stack == "tcp" and self.gso != "off":
+            raise ConfigError("GSO modes only apply to QUIC stacks here")
+
+    @property
+    def label(self) -> str:
+        parts = [self.stack, self.cca]
+        if self.qdisc != "none":
+            parts.append(self.qdisc)
+        if self.gso != "off":
+            parts.append(f"gso-{self.gso}")
+        if self.spurious_rollback is False:
+            parts.append("sf")
+        return "/".join(parts)
+
+    def scaled(self, file_size: int, repetitions: Optional[int] = None) -> "ExperimentConfig":
+        return replace(
+            self,
+            file_size=file_size,
+            repetitions=repetitions if repetitions is not None else self.repetitions,
+        )

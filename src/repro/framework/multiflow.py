@@ -1,0 +1,308 @@
+"""Competing flows over a shared bottleneck (extension).
+
+The paper's Section 3.4 explicitly leaves "competing connections" and
+"shared queues" to future work. This module implements that scenario: N
+senders (any mix of stack profiles and CCAs) share the 40 Mbit/s bottleneck,
+each downloading its own file, and we measure per-flow goodput, loss, and
+Jain fairness. It also exercises FQ's multi-flow scheduling, which the
+single-connection experiments never touch.
+
+Topology: every sender has its own host (socket, qdisc, GSO stage, NIC,
+1 Gbit/s link) feeding the shared optical tap and TBF bottleneck; the
+bottleneck egress demultiplexes to per-flow client sockets by destination
+port; ACKs return over a shared reverse link with 20 ms delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.cc.factory import make_cc
+from repro.framework.config import NetworkConfig
+from repro.kernel.gso import GsoSegmenter
+from repro.kernel.qdisc import make_qdisc
+from repro.kernel.qdisc.netem import NetemQdisc
+from repro.kernel.socket import UdpSocket
+from repro.metrics.fairness import jain_index
+from repro.metrics.goodput import goodput_mbps
+from repro.net.bottleneck import Bottleneck
+from repro.net.demux import PortDemux
+from repro.net.link import Link
+from repro.net.nic import Nic
+from repro.net.tap import CaptureRecord, FiberTap, Sniffer
+from repro.pacing.gso_policy import GsoPolicy
+from repro.quic import h3
+from repro.quic.connection import Connection, ConnectionConfig
+from repro.sim.engine import Simulator
+from repro.sim.random import RngRegistry
+from repro.stacks.base import ServerDriver, make_pacer
+from repro.stacks.client import ClientDriver
+from repro.stacks.profiles import profile_for
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.sender import TcpSender
+from repro.units import mib, ms, seconds, us
+
+SERVER_ADDR = "10.0.0.1"
+CLIENT_ADDR = "10.0.0.2"
+BASE_SERVER_PORT = 4433
+BASE_CLIENT_PORT = 50000
+MTU_PAYLOAD = 1252
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One competing sender."""
+
+    stack: str = "quiche"
+    cca: str = "cubic"
+    qdisc: str = "none"
+    gso: str = "off"
+    spurious_rollback: Optional[bool] = None
+    file_size: int = mib(4)
+    start_ns: int = 0
+
+    @property
+    def label(self) -> str:
+        parts = [self.stack, self.cca]
+        if self.qdisc != "none":
+            parts.append(self.qdisc)
+        return "/".join(parts)
+
+
+@dataclass
+class FlowResult:
+    spec: FlowSpec
+    completed: bool
+    duration_ns: int
+    goodput_mbps: float
+    dropped: int
+    records: List[CaptureRecord] = field(default_factory=list)
+
+
+@dataclass
+class MultiFlowResult:
+    flows: List[FlowResult]
+    total_dropped: int
+    sim_time_ns: int
+
+    @property
+    def fairness(self) -> float:
+        return jain_index([f.goodput_mbps for f in self.flows])
+
+    @property
+    def aggregate_goodput_mbps(self) -> float:
+        return sum(f.goodput_mbps for f in self.flows)
+
+    @property
+    def all_completed(self) -> bool:
+        return all(f.completed for f in self.flows)
+
+
+class _Flow:
+    """Internal per-flow assembly."""
+
+    def __init__(self, spec: FlowSpec, index: int):
+        self.spec = spec
+        self.index = index
+        self.server_port = BASE_SERVER_PORT + index
+        self.client_port = BASE_CLIENT_PORT + index
+        self.server_driver: Optional[ServerDriver] = None
+        self.client_driver: Optional[ClientDriver] = None
+        self.tcp_sender: Optional[TcpSender] = None
+        self.tcp_receiver: Optional[TcpReceiver] = None
+
+    @property
+    def done(self) -> bool:
+        if self.tcp_receiver is not None:
+            return self.tcp_receiver.done
+        return self.client_driver is not None and self.client_driver.done
+
+    def timing(self, fallback_now: int) -> tuple[int, int]:
+        if self.tcp_receiver is not None:
+            start = self.tcp_sender.started_at or 0
+            end = self.tcp_receiver.completed_at or fallback_now
+        else:
+            start = self.client_driver.request_sent_at or self.spec.start_ns
+            end = self.client_driver.completed_at or fallback_now
+        return start, max(end, start + 1)
+
+
+class MultiFlowExperiment:
+    def __init__(
+        self,
+        flows: Sequence[FlowSpec],
+        network: Optional[NetworkConfig] = None,
+        seed: int = 1,
+        max_sim_time_ns: int = seconds(300),
+    ):
+        if not flows:
+            raise ValueError("at least one flow is required")
+        self.specs = list(flows)
+        self.network = network or NetworkConfig()
+        self.seed = seed
+        self.max_sim_time_ns = max_sim_time_ns
+        self.sim = Simulator()
+        self.rngs = RngRegistry(seed)
+        self.sniffer = Sniffer()
+        self._flows: List[_Flow] = []
+        self._build()
+
+    # -- assembly ------------------------------------------------------------
+
+    def _build(self) -> None:
+        net = self.network
+        client_demux = PortDemux()
+        self.bottleneck = Bottleneck(
+            self.sim,
+            "bottleneck",
+            rate_bps=net.bottleneck_rate_bps,
+            queue_limit_bytes=net.buffer_bytes,
+            burst_bytes=net.tbf_burst_bytes,
+            delay_ns=net.one_way_delay_ns,
+            sink=client_demux,
+        )
+        tap = FiberTap(self.sim, self.sniffer, sink=self.bottleneck)
+
+        server_demux = PortDemux()
+        reverse_netem = NetemQdisc(
+            self.sim,
+            "reverse-netem",
+            sink=server_demux,
+            delay_ns=net.one_way_delay_ns,
+            rng=self.rngs.stream("reverse-netem"),
+        )
+        reverse_link = Link(
+            self.sim, "reverse-link", net.link_rate_bps, propagation_ns=us(1), sink=reverse_netem
+        )
+
+        for index, spec in enumerate(self.specs):
+            flow = _Flow(spec, index)
+            self._flows.append(flow)
+            rng_tag = f"flow{index}"
+
+            client_sock = UdpSocket(
+                self.sim, CLIENT_ADDR, flow.client_port, egress=reverse_link, rcvbuf_bytes=mib(50)
+            )
+            client_sock.connect(SERVER_ADDR, flow.server_port)
+            client_demux.add_route(flow.client_port, client_sock)
+
+            link = Link(
+                self.sim, f"link-{index}", net.link_rate_bps, propagation_ns=us(1), sink=tap
+            )
+            nic = Nic(self.sim, f"nic-{index}", link, rng=self.rngs.stream(f"{rng_tag}-nic"))
+            segmenter = GsoSegmenter(self.sim, sink=nic)
+            qdisc = make_qdisc(
+                spec.qdisc if spec.qdisc != "none" else "pfifo_fast",
+                self.sim,
+                sink=segmenter,
+                rng=self.rngs.stream(f"{rng_tag}-qdisc"),
+            )
+            server_sock = UdpSocket(
+                self.sim,
+                SERVER_ADDR,
+                flow.server_port,
+                egress=qdisc,
+                so_txtime=(spec.stack == "quiche"),
+            )
+            server_sock.connect(CLIENT_ADDR, flow.client_port)
+            server_demux.add_route(flow.server_port, server_sock)
+
+            if spec.stack == "tcp":
+                flow.tcp_sender = TcpSender(self.sim, server_sock, spec.file_size)
+                flow.tcp_receiver = TcpReceiver(self.sim, client_sock, spec.file_size)
+            else:
+                self._build_quic_flow(flow, spec, server_sock, client_sock, rng_tag)
+
+    def _build_quic_flow(self, flow, spec, server_sock, client_sock, rng_tag) -> None:
+        overrides = {}
+        if spec.stack == "quiche":
+            if spec.gso != "off":
+                overrides["gso"] = GsoPolicy(enabled=True, paced=(spec.gso == "paced"))
+            if spec.spurious_rollback is not None:
+                overrides["spurious_rollback"] = spec.spurious_rollback
+        profile = profile_for(spec.stack, spec.cca, **overrides)
+        cc = make_cc(
+            profile.cca,
+            mtu=MTU_PAYLOAD,
+            hystart=profile.hystart,
+            spurious_rollback=profile.spurious_rollback,
+            rollback_loss_threshold=profile.rollback_loss_threshold,
+            bbr_params=profile.bbr_params,
+        )
+        cc.pacing_gain_factor = profile.pacing_gain
+        server_conn = Connection(
+            "server",
+            cc=cc,
+            config=ConnectionConfig(
+                mtu_payload=MTU_PAYLOAD,
+                peer_max_data=profile.recv_conn_window,
+                peer_max_stream_data=profile.recv_stream_window,
+            ),
+        )
+        client_conn = Connection(
+            "client",
+            config=ConnectionConfig(
+                mtu_payload=MTU_PAYLOAD,
+                recv_conn_window=profile.recv_conn_window,
+                recv_stream_window=profile.recv_stream_window,
+                fc_autotune=profile.fc_autotune,
+                ack_threshold=profile.client_ack_threshold,
+                max_ack_delay_ns=profile.client_max_ack_delay_ns,
+            ),
+        )
+        flow.server_driver = ServerDriver(
+            self.sim,
+            server_conn,
+            server_sock,
+            profile,
+            make_pacer(profile, MTU_PAYLOAD),
+            response_size=h3.response_stream_size(spec.file_size),
+            rng=self.rngs.stream(f"{rng_tag}-server"),
+        )
+        flow.client_driver = ClientDriver(
+            self.sim, client_conn, client_sock, rng=self.rngs.stream(f"{rng_tag}-client")
+        )
+
+    # -- run -------------------------------------------------------------------
+
+    def run(self) -> MultiFlowResult:
+        for flow in self._flows:
+            if flow.tcp_sender is not None:
+                self.sim.schedule_at(flow.spec.start_ns, flow.tcp_sender.start)
+            else:
+                self.sim.schedule_at(flow.spec.start_ns, flow.client_driver.start)
+
+        chunk = ms(200)
+        while not all(f.done for f in self._flows) and self.sim.now < self.max_sim_time_ns:
+            before = self.sim.events_processed
+            self.sim.run(until=self.sim.now + chunk)
+            if self.sim.events_processed == before and self.sim.peek_time() is None:
+                break
+
+        results = []
+        for flow in self._flows:
+            start, end = flow.timing(self.sim.now)
+            records = [
+                r
+                for r in self.sniffer.from_host(SERVER_ADDR)
+                if r.flow[1] == flow.server_port
+            ]
+            dropped = sum(
+                count
+                for f, count in self.bottleneck.drops_by_flow.items()
+                if f[1] == flow.server_port
+            )
+            results.append(
+                FlowResult(
+                    spec=flow.spec,
+                    completed=flow.done,
+                    duration_ns=end - start,
+                    goodput_mbps=goodput_mbps(flow.spec.file_size, end - start),
+                    dropped=dropped,
+                    records=records,
+                )
+            )
+        return MultiFlowResult(
+            flows=results, total_dropped=self.bottleneck.dropped, sim_time_ns=self.sim.now
+        )

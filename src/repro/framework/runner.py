@@ -1,0 +1,66 @@
+"""Repetition runner: run a configuration N times, aggregate mean ± std, and
+pool capture records for distribution metrics (as the paper combines all
+repetitions before computing gap/train distributions).
+
+Repetitions are independent simulations, so ``workers > 1`` fans them out to
+a process pool; results are identical to a serial run (seeds are derived the
+same way) but wall time divides by the worker count — useful for full-scale
+(100 MiB x 20) reproduction runs.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.framework.config import ExperimentConfig
+from repro.framework.experiment import Experiment, ExperimentResult
+from repro.metrics.stats import Summary, summarize
+from repro.net.tap import CaptureRecord
+
+
+@dataclass
+class RunSummary:
+    config: ExperimentConfig
+    results: List[ExperimentResult]
+    goodput: Summary
+    dropped: Summary
+
+    @property
+    def pooled_records(self) -> List[List[CaptureRecord]]:
+        """Per-repetition capture records (gaps must not straddle reps)."""
+        return [r.server_records for r in self.results]
+
+    @property
+    def all_completed(self) -> bool:
+        return all(r.completed for r in self.results)
+
+    def describe(self) -> str:
+        return (
+            f"{self.config.label}: goodput {self.goodput} Mbit/s, "
+            f"dropped {self.dropped} packets, reps={len(self.results)}"
+        )
+
+
+def _run_one(config: ExperimentConfig, seed: int) -> ExperimentResult:
+    return Experiment(config, seed=seed).run()
+
+
+def run_repetitions(config: ExperimentConfig, workers: Optional[int] = None) -> RunSummary:
+    """Run ``config.repetitions`` measurements with derived per-rep seeds.
+
+    ``workers > 1`` parallelizes across processes with identical results.
+    """
+    seeds = [config.seed * 1000 + rep for rep in range(config.repetitions)]
+    if workers is not None and workers > 1 and config.repetitions > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_run_one, [config] * len(seeds), seeds))
+    else:
+        results = [_run_one(config, seed) for seed in seeds]
+    return RunSummary(
+        config=config,
+        results=results,
+        goodput=summarize([r.goodput_mbps for r in results]),
+        dropped=summarize([float(r.dropped) for r in results]),
+    )

@@ -1,0 +1,61 @@
+"""Canonical configurations for every experiment in the paper's evaluation.
+
+Names match the experiment index in DESIGN.md. Default workload scale is
+8 MiB x 5 repetitions (the paper uses 100 MiB x 20 on hardware); pass a
+different ``file_size``/``repetitions`` for full-scale runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.framework.config import ExperimentConfig
+from repro.units import mib
+
+DEFAULT_FILE_SIZE = mib(8)
+DEFAULT_REPETITIONS = 5
+
+
+def _base(**kwargs) -> ExperimentConfig:
+    kwargs.setdefault("file_size", DEFAULT_FILE_SIZE)
+    kwargs.setdefault("repetitions", DEFAULT_REPETITIONS)
+    return ExperimentConfig(**kwargs)
+
+
+def baseline(stack: str, cca: str = "cubic", **kwargs) -> ExperimentConfig:
+    """Section 4.1: default settings, CCA pinned to CUBIC for comparability."""
+    return _base(stack=stack, cca=cca, **kwargs)
+
+
+def quiche_fq(spurious_rollback: Optional[bool] = True, **kwargs) -> ExperimentConfig:
+    """Section 4.2: quiche + FQ qdisc; rollback False = the "SF" patch."""
+    return _base(stack="quiche", qdisc="fq", spurious_rollback=spurious_rollback, **kwargs)
+
+
+def quiche_gso(mode: str, **kwargs) -> ExperimentConfig:
+    """Section 4.3: quiche + FQ with GSO off / on / kernel-paced.
+
+    The SF patch is applied (the paper disables rollback for all post-4.2
+    measurements).
+    """
+    return _base(
+        stack="quiche", qdisc="fq", gso=mode, spurious_rollback=False, **kwargs
+    )
+
+
+def precision_config(qdisc: str, **kwargs) -> ExperimentConfig:
+    """Section 4.4: quiche without GSO under none / fq / etf / etf-offload."""
+    return _base(
+        stack="quiche", qdisc=qdisc, gso="off", spurious_rollback=False, **kwargs
+    )
+
+
+def cca_sweep(stack: str, **kwargs) -> Dict[str, ExperimentConfig]:
+    """Figure 4: one config per CCA for the given library."""
+    return {cca: _base(stack=stack, cca=cca, **kwargs) for cca in ("cubic", "newreno", "bbr")}
+
+
+def all_baselines(**kwargs) -> Dict[str, ExperimentConfig]:
+    """Figure 2/3 and Table 1: the four stacks with CUBIC."""
+    return {stack: baseline(stack, **kwargs) for stack in ("quiche", "picoquic", "ngtcp2", "tcp")}

@@ -1,0 +1,8 @@
+"""Linux kernel model: UDP sockets with SO_TXTIME and GSO, syscall costs, and
+queueing disciplines (pfifo_fast, FQ, FQ_CoDel, ETF, TBF, netem)."""
+
+from repro.kernel.syscall import SyscallModel
+from repro.kernel.socket import UdpSocket
+from repro.kernel.gso import GsoSegmenter
+
+__all__ = ["SyscallModel", "UdpSocket", "GsoSegmenter"]

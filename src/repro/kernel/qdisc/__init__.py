@@ -1,0 +1,27 @@
+"""Queueing disciplines.
+
+Each qdisc accepts datagrams via ``enqueue`` and pushes them to its ``sink``
+(normally the NIC or the GSO segmenter) when its scheduling logic releases
+them. ``make_qdisc`` builds the qdisc named in an experiment config.
+"""
+
+from repro.kernel.qdisc.base import Qdisc, QdiscStats
+from repro.kernel.qdisc.pfifo_fast import PfifoFast
+from repro.kernel.qdisc.fq import FqQdisc
+from repro.kernel.qdisc.fq_codel import FqCodel
+from repro.kernel.qdisc.etf import EtfQdisc
+from repro.kernel.qdisc.tbf import TbfQdisc
+from repro.kernel.qdisc.netem import NetemQdisc
+from repro.kernel.qdisc.factory import make_qdisc
+
+__all__ = [
+    "Qdisc",
+    "QdiscStats",
+    "PfifoFast",
+    "FqQdisc",
+    "FqCodel",
+    "EtfQdisc",
+    "TbfQdisc",
+    "NetemQdisc",
+    "make_qdisc",
+]

@@ -1,0 +1,44 @@
+"""Construct a qdisc from its experiment-config name."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.kernel.qdisc.base import Qdisc
+from repro.kernel.qdisc.etf import EtfQdisc
+from repro.kernel.qdisc.fq import FqQdisc
+from repro.kernel.qdisc.fq_codel import FqCodel
+from repro.kernel.qdisc.netem import NetemQdisc
+from repro.kernel.qdisc.pfifo_fast import PfifoFast
+from repro.kernel.qdisc.tbf import TbfQdisc
+from repro.net.packet import PacketSink
+from repro.sim.engine import Simulator
+
+#: Names accepted in experiment configurations. ``etf-offload`` selects the
+#: same qdisc as ``etf``; the offload itself lives on the NIC (LaunchTime).
+QDISC_NAMES = ("none", "pfifo_fast", "fq_codel", "fq", "etf", "etf-offload", "tbf", "netem")
+
+
+def make_qdisc(
+    kind: str,
+    sim: Simulator,
+    sink: Optional[PacketSink] = None,
+    rng: Optional[random.Random] = None,
+    **params,
+) -> Qdisc:
+    rng = rng or random.Random(0)
+    if kind in ("none", "pfifo_fast"):
+        return PfifoFast(sim, sink=sink, **params)
+    if kind == "fq_codel":
+        return FqCodel(sim, sink=sink, **params)
+    if kind == "fq":
+        return FqQdisc(sim, sink=sink, rng=rng, **params)
+    if kind in ("etf", "etf-offload"):
+        return EtfQdisc(sim, sink=sink, rng=rng, **params)
+    if kind == "tbf":
+        return TbfQdisc(sim, sink=sink, **params)
+    if kind == "netem":
+        return NetemQdisc(sim, sink=sink, rng=rng, **params)
+    raise ConfigError(f"unknown qdisc {kind!r}; expected one of {QDISC_NAMES}")

@@ -1,0 +1,146 @@
+"""FQ_CoDel — the Debian Bookworm default qdisc.
+
+Fair queuing across flows with CoDel AQM per flow. It does *not* look at
+SCM_TXTIME timestamps, which is exactly why the paper's baseline (default
+qdisc) shows no kernel help with pacing.
+
+On the measurement server the 1 Gbit/s device is never the bottleneck, so
+FQ_CoDel behaves as a pass-through there. The implementation still supports
+an optional ``drain_rate_bps`` (emulating a slow device below the qdisc) so
+that the CoDel sojourn-time controller is a real, testable mechanism and the
+qdisc can serve as an AQM bottleneck in extension experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+from repro.kernel.qdisc.base import Qdisc
+from repro.net.packet import Datagram, FlowTuple, PacketSink
+from repro.sim.engine import Simulator
+from repro.units import ms, tx_time_ns
+
+
+class _CodelState:
+    __slots__ = ("first_above_time", "drop_next", "count", "dropping")
+
+    def __init__(self) -> None:
+        self.first_above_time = 0
+        self.drop_next = 0
+        self.count = 0
+        self.dropping = False
+
+
+class FqCodel(Qdisc):
+    honors_txtime = False
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "fq_codel",
+        sink: Optional[PacketSink] = None,
+        limit_packets: int = 10_240,
+        target_ns: int = ms(5),
+        interval_ns: int = ms(100),
+        drain_rate_bps: Optional[int] = None,
+    ):
+        super().__init__(sim, name, sink)
+        self.limit_packets = limit_packets
+        self.target_ns = target_ns
+        self.interval_ns = interval_ns
+        self.drain_rate_bps = drain_rate_bps
+        self._flows: Dict[FlowTuple, deque[tuple[int, Datagram]]] = {}
+        self._order: deque[FlowTuple] = deque()
+        self._codel: Dict[FlowTuple, _CodelState] = {}
+        self._len = 0
+        self._draining = False
+        self._busy_until = 0  # device serialization occupancy
+
+    def enqueue(self, dgram: Datagram) -> None:
+        self.stats.enqueued += 1
+        if self._len >= self.limit_packets:
+            self.stats.dropped += 1
+            return
+        queue = self._flows.get(dgram.flow)
+        if queue is None:
+            queue = deque()
+            self._flows[dgram.flow] = queue
+            self._codel[dgram.flow] = _CodelState()
+        if not queue:
+            self._order.append(dgram.flow)
+        queue.append((self.sim.now, dgram))
+        self._len += 1
+        self._maybe_drain()
+
+    # -- dequeue ----------------------------------------------------------
+
+    def _maybe_drain(self) -> None:
+        if self._draining or self._len == 0:
+            return
+        self._draining = True
+        self.sim.schedule_at(max(self.sim.now, self._busy_until), self._drain_one)
+
+    def _drain_one(self) -> None:
+        self._draining = False
+        dgram = self._dequeue()
+        if dgram is None:
+            return
+        self.emit(dgram)
+        if self.drain_rate_bps is not None:
+            # The device stays busy serializing this frame; later drains (and
+            # arrivals to an "empty" queue) must wait for it.
+            self._busy_until = self.sim.now + tx_time_ns(
+                dgram.serialized_size, self.drain_rate_bps
+            )
+        self._maybe_drain()
+
+    def _dequeue(self) -> Optional[Datagram]:
+        while self._order:
+            key = self._order[0]
+            queue = self._flows.get(key)
+            if not queue:
+                self._order.popleft()
+                continue
+            state = self._codel[key]
+            entry = self._codel_dequeue(queue, state)
+            if queue:
+                self._order.rotate(-1)
+            else:
+                self._order.popleft()
+            if entry is not None:
+                return entry
+        return None
+
+    def _codel_dequeue(self, queue: deque, state: _CodelState) -> Optional[Datagram]:
+        """One CoDel-controlled dequeue from a single flow queue."""
+        while queue:
+            enq_time, dgram = queue.popleft()
+            self._len -= 1
+            sojourn = self.sim.now - enq_time
+            now = self.sim.now
+            if sojourn < self.target_ns:
+                state.first_above_time = 0
+                state.dropping = False
+                return dgram
+            if state.first_above_time == 0:
+                state.first_above_time = now + self.interval_ns
+                return dgram
+            if now < state.first_above_time:
+                return dgram
+            # Sojourn has stayed above target for a full interval: drop.
+            if not state.dropping:
+                state.dropping = True
+                state.count = max(1, state.count - 2)
+                state.drop_next = now
+            if now >= state.drop_next:
+                self.stats.dropped += 1
+                state.count += 1
+                state.drop_next = now + int(self.interval_ns / (state.count**0.5))
+                continue  # packet dropped; try the next one
+            return dgram
+        return None
+
+    @property
+    def backlog_packets(self) -> int:
+        return self._len

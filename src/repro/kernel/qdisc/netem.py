@@ -1,0 +1,61 @@
+"""netem — network emulation qdisc (fixed delay, optional jitter and loss).
+
+Used in the paper to add 20 ms in each direction (40 ms minimum RTT). Delay
+is applied per packet while preserving ordering (like netem with a large
+enough limit and no reordering configured).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.kernel.qdisc.base import Qdisc
+from repro.net.packet import Datagram, PacketSink
+from repro.sim.engine import Simulator
+
+
+class NetemQdisc(Qdisc):
+    honors_txtime = False
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "netem",
+        sink: Optional[PacketSink] = None,
+        delay_ns: int = 20_000_000,
+        jitter_ns: int = 0,
+        loss_rate: float = 0.0,
+        limit_packets: int = 100_000,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(sim, name, sink)
+        self.delay_ns = delay_ns
+        self.jitter_ns = jitter_ns
+        self.loss_rate = loss_rate
+        self.limit_packets = limit_packets
+        self.rng = rng or random.Random(0)
+        self._in_flight = 0
+        self._last_release = 0
+
+    def enqueue(self, dgram: Datagram) -> None:
+        self.stats.enqueued += 1
+        if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+            self.stats.dropped += 1
+            return
+        if self._in_flight >= self.limit_packets:
+            self.stats.dropped += 1
+            return
+        delay = self.delay_ns
+        if self.jitter_ns > 0:
+            delay += self.rng.randint(-self.jitter_ns, self.jitter_ns)
+            delay = max(delay, 0)
+        # Preserve ordering: never release before the previous packet.
+        release = max(self.sim.now + delay, self._last_release)
+        self._last_release = release
+        self._in_flight += 1
+        self.sim.schedule_at(release, self._release, dgram)
+
+    def _release(self, dgram: Datagram) -> None:
+        self._in_flight -= 1
+        self.emit(dgram)

@@ -1,0 +1,98 @@
+"""TBF — Token Bucket Filter qdisc.
+
+Classic rate shaping: packets wait for tokens that refill at ``rate_bps`` up
+to ``burst_bytes``. The paper uses TBF for the emulated bottleneck (see
+:class:`repro.net.bottleneck.Bottleneck`, which fuses TBF with netem for the
+client-side ingress path); this standalone qdisc exists so experiments can
+also install TBF on a sender, and to document why TBF is a poor *pacing*
+qdisc: its rate is fixed by configuration and cannot follow a QUIC
+connection's continuously-changing pacing rate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.kernel.qdisc.base import Qdisc
+from repro.net.packet import Datagram, PacketSink
+from repro.sim.engine import Simulator
+from repro.units import SEC
+
+
+class TbfQdisc(Qdisc):
+    honors_txtime = False
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "tbf",
+        sink: Optional[PacketSink] = None,
+        rate_bps: int = 40_000_000,
+        burst_bytes: int = 5_000,
+        limit_bytes: int = 400_000,
+    ):
+        super().__init__(sim, name, sink)
+        self.rate_bps = rate_bps
+        self.burst_bytes = burst_bytes
+        self.limit_bytes = limit_bytes
+        self._queue: deque[Datagram] = deque()
+        self._queue_bytes = 0
+        self._tokens = float(burst_bytes)
+        self._last_refill = 0
+        self._drain_pending = False
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._queue_bytes
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        if now > self._last_refill:
+            self._tokens = min(
+                float(self.burst_bytes),
+                self._tokens + self.rate_bps * (now - self._last_refill) / (8 * SEC),
+            )
+            self._last_refill = now
+
+    def enqueue(self, dgram: Datagram) -> None:
+        self.stats.enqueued += 1
+        if dgram.wire_size > self.burst_bytes:
+            # tc tbf cannot pass packets larger than the bucket; they would
+            # wait for tokens that can never accumulate.
+            self.stats.dropped += 1
+            return
+        if self._queue_bytes + dgram.wire_size > self.limit_bytes:
+            self.stats.dropped += 1
+            return
+        self._queue.append(dgram)
+        self._queue_bytes += dgram.wire_size
+        self._maybe_drain()
+
+    def _maybe_drain(self) -> None:
+        if self._drain_pending or not self._queue:
+            return
+        self._refill()
+        need = self._queue[0].wire_size
+        self._drain_pending = True
+        if self._tokens >= need:
+            self.sim.call_soon(self._drain)
+        else:
+            deficit = need - self._tokens
+            wait = -(-int(deficit * 8 * SEC) // self.rate_bps)
+            self.sim.schedule(max(wait, 1), self._drain)
+
+    def _drain(self) -> None:
+        self._drain_pending = False
+        if not self._queue:
+            return
+        self._refill()
+        head = self._queue[0]
+        if self._tokens < head.wire_size:
+            self._maybe_drain()
+            return
+        self._queue.popleft()
+        self._tokens -= head.wire_size
+        self._queue_bytes -= head.wire_size
+        self.emit(head)
+        self._maybe_drain()

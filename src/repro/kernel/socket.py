@@ -1,0 +1,224 @@
+"""UDP socket model: sendmsg / sendmmsg / GSO sends, SO_TXTIME, receive buffer.
+
+The socket charges syscall costs on the calling thread's timeline: datagrams
+written in one burst reach the qdisc staggered by their kernel processing
+cost, and the application's next wake-up implicitly happens after the burst
+is written (the stack drivers account for this via ``cpu_free_at``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.kernel.gso import GsoBuffer
+from repro.kernel.syscall import SyscallModel, DEFAULT_SYSCALLS
+from repro.net.packet import Datagram, FlowTuple, PacketSink
+from repro.sim.engine import Simulator
+from repro.units import mib
+
+_gso_ids = itertools.count(1)
+
+
+class SendSpec:
+    """One datagram the application wants to write."""
+
+    __slots__ = (
+        "payload", "payload_size", "txtime_ns", "expected_send_ns",
+        "packet_number", "ecn",
+    )
+
+    def __init__(
+        self,
+        payload: Any,
+        payload_size: int,
+        txtime_ns: Optional[int] = None,
+        expected_send_ns: Optional[int] = None,
+        packet_number: Optional[int] = None,
+        ecn: int = 0,
+    ):
+        self.payload = payload
+        self.payload_size = payload_size
+        self.txtime_ns = txtime_ns
+        self.expected_send_ns = expected_send_ns
+        self.packet_number = packet_number
+        self.ecn = ecn
+
+
+class UdpSocket:
+    """A connected UDP socket with a kernel cost model.
+
+    :param egress: first hop of the send path (qdisc, segmenter, or NIC).
+    :param so_txtime: whether SCM_TXTIME timestamps are attached to sends
+        (without it, per-packet timestamps are silently ignored, like a real
+        socket without ``setsockopt(SO_TXTIME)``).
+    :param rcvbuf_bytes: receive buffer; the paper raises it to 50 MiB on the
+        client to avoid receiver-side drops.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        local_addr: str,
+        local_port: int,
+        egress: Optional[PacketSink] = None,
+        syscalls: SyscallModel = DEFAULT_SYSCALLS,
+        so_txtime: bool = False,
+        rcvbuf_bytes: int = mib(50),
+    ):
+        self.sim = sim
+        self.local_addr = local_addr
+        self.local_port = local_port
+        self.egress = egress
+        self.syscalls = syscalls
+        self.so_txtime = so_txtime
+        self.rcvbuf_bytes = rcvbuf_bytes
+
+        self.remote_addr: Optional[str] = None
+        self.remote_port: Optional[int] = None
+
+        self._cpu_free_at = 0
+        self._rx: deque[Datagram] = deque()
+        self._rx_bytes = 0
+        self.rx_dropped = 0
+        self.on_readable: Optional[Callable[[], None]] = None
+
+        self.datagrams_sent = 0
+        self.bytes_sent = 0
+        self.gso_sends = 0
+
+    # -- setup ------------------------------------------------------------
+
+    def connect(self, remote_addr: str, remote_port: int) -> None:
+        self.remote_addr = remote_addr
+        self.remote_port = remote_port
+
+    @property
+    def flow(self) -> FlowTuple:
+        if self.remote_addr is None or self.remote_port is None:
+            raise ConfigError("socket not connected")
+        return (self.local_addr, self.local_port, self.remote_addr, self.remote_port)
+
+    # -- send path ---------------------------------------------------------
+
+    def _charge(self, cost_ns: int) -> int:
+        """Advance the thread's CPU timeline by ``cost_ns``; returns the
+        instant the kernel work completes."""
+        start = max(self.sim.now, self._cpu_free_at)
+        self._cpu_free_at = start + cost_ns
+        return self._cpu_free_at
+
+    @property
+    def cpu_free_at(self) -> int:
+        """When the sending thread finishes its queued kernel work."""
+        return max(self._cpu_free_at, self.sim.now)
+
+    def _make_dgram(self, spec: SendSpec) -> Datagram:
+        return Datagram(
+            flow=self.flow,
+            payload_size=spec.payload_size,
+            payload=spec.payload,
+            txtime_ns=spec.txtime_ns if self.so_txtime else None,
+            expected_send_ns=spec.expected_send_ns,
+            packet_number=spec.packet_number,
+            ecn=spec.ecn,
+            created_ns=self.sim.now,
+        )
+
+    def sendmsg(self, spec: SendSpec) -> int:
+        """Write one datagram; returns when the syscall completes."""
+        done = self._charge(self.syscalls.sendmsg_cost(spec.payload_size))
+        dgram = self._make_dgram(spec)
+        self.datagrams_sent += 1
+        self.bytes_sent += spec.payload_size
+        self.sim.schedule_at(done, self._to_egress, dgram)
+        return done
+
+    def sendmmsg(self, specs: Sequence[SendSpec]) -> int:
+        """Write a batch in one syscall; datagrams reach the qdisc staggered
+        by their per-datagram kernel cost."""
+        if not specs:
+            return self.sim.now
+        t = self._charge(self.syscalls.syscall_ns)
+        for spec in specs:
+            cost = self.syscalls.per_datagram_ns + round(
+                self.syscalls.per_byte_ns * spec.payload_size
+            )
+            t = self._charge(cost)
+            dgram = self._make_dgram(spec)
+            self.datagrams_sent += 1
+            self.bytes_sent += spec.payload_size
+            self.sim.schedule_at(t, self._to_egress, dgram)
+        return t
+
+    def send_gso(
+        self,
+        specs: Sequence[SendSpec],
+        txtime_ns: Optional[int] = None,
+        pacing_rate_Bps: Optional[int] = None,
+        expected_send_ns: Optional[int] = None,
+    ) -> int:
+        """Write all ``specs`` as one GSO buffer in one syscall.
+
+        The buffer traverses the qdisc as a single unit (one txtime for the
+        whole buffer). ``pacing_rate_Bps`` engages the paced-GSO kernel patch.
+        """
+        if not specs:
+            return self.sim.now
+        gso_id = next(_gso_ids)
+        segments: List[Datagram] = []
+        total = 0
+        for spec in specs:
+            seg = self._make_dgram(spec)
+            seg.txtime_ns = None  # segments inherit scheduling from the buffer
+            seg.gso_id = gso_id
+            segments.append(seg)
+            total += spec.payload_size
+        done = self._charge(self.syscalls.gso_cost(total))
+        buffer = GsoBuffer(segments=segments, pacing_rate_Bps=pacing_rate_Bps)
+        super_dgram = Datagram(
+            flow=self.flow,
+            payload_size=total,
+            payload=buffer,
+            txtime_ns=txtime_ns if self.so_txtime else None,
+            expected_send_ns=expected_send_ns,
+            gso_id=gso_id,
+            created_ns=self.sim.now,
+        )
+        self.datagrams_sent += len(specs)
+        self.bytes_sent += total
+        self.gso_sends += 1
+        self.sim.schedule_at(done, self._to_egress, super_dgram)
+        return done
+
+    def _to_egress(self, dgram: Datagram) -> None:
+        if self.egress is not None:
+            self.egress.receive(dgram)
+
+    # -- receive path --------------------------------------------------------
+
+    def deliver(self, dgram: Datagram) -> None:
+        """Called by the network when a datagram arrives for this socket."""
+        if self._rx_bytes + dgram.payload_size > self.rcvbuf_bytes:
+            self.rx_dropped += 1
+            return
+        self._rx.append(dgram)
+        self._rx_bytes += dgram.payload_size
+        if self.on_readable is not None:
+            self.on_readable()
+
+    # The network side addresses the socket as a PacketSink.
+    receive = deliver
+
+    def recv_all(self) -> List[Datagram]:
+        """Drain the receive buffer (recvmmsg in a loop)."""
+        out = list(self._rx)
+        self._rx.clear()
+        self._rx_bytes = 0
+        return out
+
+    @property
+    def rx_pending(self) -> int:
+        return len(self._rx)

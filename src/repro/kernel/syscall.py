@@ -1,0 +1,53 @@
+"""System-call cost model.
+
+QUIC's user-space nature means every datagram (or batch) pays a kernel
+boundary crossing. The paper attributes part of QUIC's pacing difficulty to
+exactly this overhead, and GSO's entire purpose is to amortize it. We model:
+
+* a fixed per-syscall cost (``sendmsg``/``sendmmsg``/``sendmsg+GSO`` all pay
+  one crossing),
+* a per-datagram processing cost inside the kernel (route lookup, skb alloc),
+* a per-byte copy cost.
+
+The costs serialize on the sending thread: two datagrams written from the
+same wake-up reach the qdisc staggered by their processing cost, which is why
+"back-to-back" packets still leave roughly one serialization time apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import us
+
+
+@dataclass(frozen=True)
+class SyscallModel:
+    """Costs in nanoseconds. Defaults approximate a modern x86 server."""
+
+    syscall_ns: int = us(2.0)
+    per_datagram_ns: int = us(2.5)
+    per_byte_ns: float = 0.15
+
+    def sendmsg_cost(self, nbytes: int) -> int:
+        """Cost of one sendmsg carrying one datagram of ``nbytes``."""
+        return self.syscall_ns + self.per_datagram_ns + round(self.per_byte_ns * nbytes)
+
+    def sendmmsg_cost(self, sizes: list[int]) -> int:
+        """Cost of one sendmmsg carrying ``len(sizes)`` datagrams."""
+        total = self.syscall_ns
+        for nbytes in sizes:
+            total += self.per_datagram_ns + round(self.per_byte_ns * nbytes)
+        return total
+
+    def gso_cost(self, total_bytes: int) -> int:
+        """Cost of one sendmsg carrying a GSO buffer of ``total_bytes``.
+
+        The kernel still copies all bytes but does per-*buffer* (not
+        per-segment) protocol processing — that is GSO's saving.
+        """
+        return self.syscall_ns + self.per_datagram_ns + round(self.per_byte_ns * total_bytes)
+
+
+#: Cost model used by default in experiments.
+DEFAULT_SYSCALLS = SyscallModel()

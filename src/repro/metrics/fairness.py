@@ -1,0 +1,17 @@
+"""Fairness metrics for competing flows (extension beyond the paper, which
+lists shared queues / competing connections as future work)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly fair, 1/n = one flow takes all."""
+    if not values:
+        raise ValueError("fairness of an empty allocation")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return total * total / (len(values) * squares)

@@ -1,0 +1,46 @@
+"""Inter-packet gap analysis (paper Figure 2 / Figure 4 top rows)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.net.tap import CaptureRecord
+
+
+def inter_packet_gaps(records: Sequence[CaptureRecord]) -> List[int]:
+    """Gaps (ns) between consecutive captured packets, in capture order."""
+    return [
+        records[i].time_ns - records[i - 1].time_ns for i in range(1, len(records))
+    ]
+
+
+def cdf(values: Sequence[float], points: int = 200) -> Tuple[List[float], List[float]]:
+    """Empirical CDF sampled at ``points`` quantiles: returns (xs, ps)."""
+    if not values:
+        return [], []
+    ordered = sorted(values)
+    n = len(ordered)
+    xs: List[float] = []
+    ps: List[float] = []
+    for i in range(points + 1):
+        p = i / points
+        idx = min(int(p * (n - 1)), n - 1)
+        xs.append(float(ordered[idx]))
+        ps.append(p)
+    return xs, ps
+
+
+def fraction_leq(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values <= threshold (e.g. back-to-back share of gaps)."""
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v <= threshold) / len(values)
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """p-quantile (0..1) with nearest-rank semantics."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    ordered = sorted(values)
+    idx = min(int(p * (len(ordered) - 1) + 0.5), len(ordered) - 1)
+    return float(ordered[idx])

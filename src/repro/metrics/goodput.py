@@ -1,0 +1,12 @@
+"""Goodput: application bytes delivered per unit time (paper Tables 1 & 2)."""
+
+from __future__ import annotations
+
+from repro.units import SEC
+
+
+def goodput_mbps(app_bytes: int, duration_ns: int) -> float:
+    """Goodput in Mbit/s for ``app_bytes`` delivered over ``duration_ns``."""
+    if duration_ns <= 0:
+        raise ValueError(f"duration must be positive, got {duration_ns}")
+    return app_bytes * 8 * SEC / duration_ns / 1e6

@@ -1,0 +1,50 @@
+"""Pacing precision (paper Section 4.4).
+
+The paper logs each packet's *expected* send timestamp at the quiche server
+and matches it with the *actual* wire timestamp from the sniffer by QUIC
+packet number. Because server and sniffer clocks are unsynchronized, the mean
+difference is meaningless; the **standard deviation** of the differences is
+the precision metric.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.net.tap import CaptureRecord
+
+
+def match_expected_actual(
+    expected_log: Sequence[Tuple[int, int]],
+    records: Sequence[CaptureRecord],
+) -> List[int]:
+    """Per-packet (actual - expected) send-time differences in ns.
+
+    Matches by packet number; packets that never reached the wire (dropped by
+    a qdisc) or were retransmitted under the same number are skipped on
+    ambiguity (first capture wins, like the paper's evaluation scripts).
+    """
+    actual_by_pn: Dict[int, int] = {}
+    for record in records:
+        if record.packet_number is not None and record.packet_number not in actual_by_pn:
+            actual_by_pn[record.packet_number] = record.time_ns
+    diffs: List[int] = []
+    for pn, expected_ns in expected_log:
+        actual = actual_by_pn.get(pn)
+        if actual is not None:
+            diffs.append(actual - expected_ns)
+    return diffs
+
+
+def pacing_precision_ns(
+    expected_log: Sequence[Tuple[int, int]],
+    records: Sequence[CaptureRecord],
+) -> float:
+    """Standard deviation of actual-vs-expected send times, in ns."""
+    diffs = match_expected_actual(expected_log, records)
+    if len(diffs) < 2:
+        return 0.0
+    mean = sum(diffs) / len(diffs)
+    var = sum((d - mean) ** 2 for d in diffs) / (len(diffs) - 1)
+    return math.sqrt(var)

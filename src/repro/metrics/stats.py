@@ -1,0 +1,31 @@
+"""Aggregation across repetitions: the paper reports ``mean ± std``."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    mean: float
+    std: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.std:.2f}"
+
+    def within(self, low: float, high: float) -> bool:
+        return low <= self.mean <= high
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    if not values:
+        raise ValueError("cannot summarize an empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return Summary(mean=mean, std=0.0, n=1)
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return Summary(mean=mean, std=math.sqrt(var), n=n)

@@ -1,0 +1,21 @@
+"""Wire-level devices: datagrams, links, NICs, the passive fiber tap, and the
+emulated bottleneck (TBF + netem), mirroring the paper's Figure 1 topology."""
+
+from repro.net.packet import Datagram, PacketSink, ETHERNET_OVERHEAD, WIRE_FRAMING
+from repro.net.link import Link
+from repro.net.nic import Nic
+from repro.net.tap import FiberTap, Sniffer, CaptureRecord
+from repro.net.bottleneck import Bottleneck
+
+__all__ = [
+    "Datagram",
+    "PacketSink",
+    "ETHERNET_OVERHEAD",
+    "WIRE_FRAMING",
+    "Link",
+    "Nic",
+    "FiberTap",
+    "Sniffer",
+    "CaptureRecord",
+    "Bottleneck",
+]

@@ -1,0 +1,148 @@
+"""The emulated bottleneck: TBF rate limiting followed by netem delay.
+
+Mirrors the paper's Section 3.2 client-side shaping: an intermediate
+functional block redirects ingress traffic through a Token Bucket Filter
+(40 Mbit/s) whose queue is sized to two bandwidth-delay products, followed by
+a 20 ms netem delay stage. Packets that arrive to a full TBF queue are
+dropped — these are the "dropped packets" of Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.net.packet import Datagram, PacketSink
+from repro.sim.engine import Simulator
+from repro.units import SEC, tx_time_ns
+
+
+class Bottleneck:
+    """Token-bucket rate limiter with a finite byte queue, then fixed delay.
+
+    :param rate_bps: drain rate (the emulated bottleneck bandwidth).
+    :param queue_limit_bytes: TBF queue size; arrivals beyond it are dropped.
+    :param burst_bytes: token bucket depth (tc requires >= rate/HZ; the
+        default models ``tc tbf burst 5kb`` at HZ=1000 for 40 Mbit/s).
+    :param delay_ns: netem delay applied after shaping (20 ms in the paper).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rate_bps: int,
+        queue_limit_bytes: int,
+        burst_bytes: int = 5_000,
+        delay_ns: int = 0,
+        ecn_mark_threshold_bytes: Optional[int] = None,
+        sink: Optional[PacketSink] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.queue_limit_bytes = queue_limit_bytes
+        self.burst_bytes = burst_bytes
+        self.delay_ns = delay_ns
+        #: When set, ECN-capable packets arriving to a queue deeper than this
+        #: are marked CE instead of waiting for a tail drop.
+        self.ecn_mark_threshold_bytes = ecn_mark_threshold_bytes
+        self.sink = sink
+
+        self._queue: deque[Datagram] = deque()
+        self._queue_bytes = 0
+        self._tokens = float(burst_bytes)
+        self._last_refill_ns = 0
+        self._drain_scheduled = False
+
+        self.dropped = 0
+        self.forwarded = 0
+        self.bytes_forwarded = 0
+        self.ce_marked = 0
+        #: Per-flow drop counts (multi-flow experiments).
+        self.drops_by_flow: dict = {}
+        #: (time_ns, queue_bytes) samples at every enqueue/dequeue, for plots.
+        self.queue_trace: list[tuple[int, int]] = []
+        self.trace_queue = False
+
+    # -- token accounting -------------------------------------------------
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._last_refill_ns
+        if elapsed > 0:
+            self._tokens = min(
+                float(self.burst_bytes),
+                self._tokens + self.rate_bps * elapsed / (8 * SEC),
+            )
+            self._last_refill_ns = now
+
+    @property
+    def queue_bytes(self) -> int:
+        return self._queue_bytes
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    # -- datapath ----------------------------------------------------------
+
+    def receive(self, dgram: Datagram) -> None:
+        if dgram.wire_size > self.burst_bytes:
+            # A frame larger than the bucket could never earn enough tokens.
+            self._drop(dgram)
+            return
+        if self._queue_bytes + dgram.wire_size > self.queue_limit_bytes:
+            self._drop(dgram)
+            return
+        if (
+            self.ecn_mark_threshold_bytes is not None
+            and dgram.ecn in (1, 2)
+            and self._queue_bytes > self.ecn_mark_threshold_bytes
+        ):
+            dgram.ecn = 3
+            self.ce_marked += 1
+        self._queue.append(dgram)
+        self._queue_bytes += dgram.wire_size
+        if self.trace_queue:
+            self.queue_trace.append((self.sim.now, self._queue_bytes))
+        self._maybe_drain()
+
+    def _drop(self, dgram: Datagram) -> None:
+        self.dropped += 1
+        self.drops_by_flow[dgram.flow] = self.drops_by_flow.get(dgram.flow, 0) + 1
+
+    def _maybe_drain(self) -> None:
+        if self._drain_scheduled or not self._queue:
+            return
+        self._refill()
+        head = self._queue[0]
+        need = head.wire_size
+        if self._tokens >= need:
+            self._drain_scheduled = True
+            self.sim.call_soon(self._drain)
+        else:
+            deficit_bytes = need - self._tokens
+            wait = -(-int(deficit_bytes * 8 * SEC) // self.rate_bps)
+            self._drain_scheduled = True
+            self.sim.schedule(max(wait, 1), self._drain)
+
+    def _drain(self) -> None:
+        self._drain_scheduled = False
+        if not self._queue:
+            return
+        self._refill()
+        head = self._queue[0]
+        if self._tokens < head.wire_size:
+            self._maybe_drain()
+            return
+        self._queue.popleft()
+        self._tokens -= head.wire_size
+        self._queue_bytes -= head.wire_size
+        if self.trace_queue:
+            self.queue_trace.append((self.sim.now, self._queue_bytes))
+        self.forwarded += 1
+        self.bytes_forwarded += head.wire_size
+        if self.sink is not None:
+            self.sim.schedule(self.delay_ns, self.sink.receive, head)
+        self._maybe_drain()

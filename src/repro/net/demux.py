@@ -1,0 +1,30 @@
+"""Flow demultiplexer: routes datagrams to per-flow sinks by destination port.
+
+Used by multi-flow experiments where several connections share the emulated
+bottleneck: the bottleneck's single egress fans out to each receiver socket,
+and the shared reverse path fans out to each sender.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.packet import Datagram, PacketSink
+
+
+class PortDemux:
+    """Routes by ``flow[3]`` (destination port)."""
+
+    def __init__(self, routes: Dict[int, PacketSink] | None = None):
+        self.routes: Dict[int, PacketSink] = dict(routes or {})
+        self.unrouted = 0
+
+    def add_route(self, port: int, sink: PacketSink) -> None:
+        self.routes[port] = sink
+
+    def receive(self, dgram: Datagram) -> None:
+        sink = self.routes.get(dgram.flow[3])
+        if sink is None:
+            self.unrouted += 1
+            return
+        sink.receive(dgram)

@@ -1,0 +1,71 @@
+"""Point-to-point link: serialization + propagation.
+
+The link serializes one frame at a time at its configured rate and delivers it
+``propagation_ns`` after the last bit leaves. Senders may push while the link
+is busy; frames queue FIFO (the queue models the device's tx ring, which in
+this simulation is bounded by the NIC, not the link).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.net.packet import Datagram, PacketSink
+from repro.sim.engine import Simulator
+from repro.units import tx_time_ns
+
+
+class Link:
+    """Unidirectional link with finite rate and fixed propagation delay."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rate_bps: int,
+        propagation_ns: int = 0,
+        sink: Optional[PacketSink] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.propagation_ns = propagation_ns
+        self.sink = sink
+        self._queue: deque[Datagram] = deque()
+        self._busy = False
+        self.frames_sent = 0
+        self.bytes_sent = 0
+
+    def receive(self, dgram: Datagram) -> None:
+        """Accept a frame for transmission (queues if the link is busy)."""
+        self._queue.append(dgram)
+        if not self._busy:
+            self._start_next()
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        dgram = self._queue.popleft()
+        duration = tx_time_ns(dgram.serialized_size, self.rate_bps)
+        self.sim.schedule(duration, self._finish, dgram)
+
+    def _finish(self, dgram: Datagram) -> None:
+        self.frames_sent += 1
+        self.bytes_sent += dgram.wire_size
+        if self.sink is not None:
+            if self.propagation_ns > 0:
+                self.sim.schedule(self.propagation_ns, self.sink.receive, dgram)
+            else:
+                self.sink.receive(dgram)
+        self._start_next()

@@ -1,0 +1,78 @@
+"""The wire unit: a UDP (or TCP-segment-carrying) datagram.
+
+A :class:`Datagram` is what crosses links, qdiscs and NICs. Its ``payload`` is
+opaque at this layer — the QUIC or TCP stack attaches whatever object it wants
+delivered, and the wire layers only care about sizes and metadata (flow hash,
+SO_TXTIME timestamp, GSO grouping).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Protocol, Tuple
+
+#: Ethernet + IPv4 + UDP header bytes added to a UDP payload on the wire.
+ETHERNET_OVERHEAD = 14 + 20 + 8
+
+#: Extra per-frame wire framing that consumes link time but is not captured
+#: in the IP length: preamble (8) + FCS (4) + inter-frame gap (12).
+WIRE_FRAMING = 24
+
+_dgram_ids = itertools.count()
+
+FlowTuple = Tuple[str, int, str, int]
+
+
+@dataclass
+class Datagram:
+    """One UDP datagram traveling through the simulated network.
+
+    :param flow: (src addr, src port, dst addr, dst port); used by FQ hashing.
+    :param payload_size: UDP payload length in bytes.
+    :param payload: opaque object for the receiving stack.
+    :param txtime_ns: SCM_TXTIME timestamp, if the sender set SO_TXTIME.
+    :param expected_send_ns: the sender's intended departure time (logged by
+        the server application for the Section 4.4 precision metric).
+    :param gso_id: identifier grouping segments split from one GSO buffer.
+    :param packet_number: QUIC packet number (or TCP seq) for trace matching.
+    """
+
+    flow: FlowTuple
+    payload_size: int
+    payload: Any = None
+    txtime_ns: Optional[int] = None
+    expected_send_ns: Optional[int] = None
+    gso_id: Optional[int] = None
+    packet_number: Optional[int] = None
+    ecn: int = 0
+    dgram_id: int = field(default_factory=lambda: next(_dgram_ids))
+    created_ns: Optional[int] = None
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes as counted by a capture (payload + Ethernet/IP/UDP headers)."""
+        return self.payload_size + ETHERNET_OVERHEAD
+
+    @property
+    def serialized_size(self) -> int:
+        """Bytes of link time the frame consumes (adds preamble/FCS/IFG)."""
+        return self.wire_size + WIRE_FRAMING
+
+    def reply_flow(self) -> FlowTuple:
+        src_addr, src_port, dst_addr, dst_port = self.flow
+        return (dst_addr, dst_port, src_addr, src_port)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Datagram #{self.dgram_id} {self.flow[0]}:{self.flow[1]}->"
+            f"{self.flow[2]}:{self.flow[3]} {self.payload_size}B"
+            f"{'' if self.packet_number is None else f' pn={self.packet_number}'}>"
+        )
+
+
+class PacketSink(Protocol):
+    """Anything that can accept a datagram (link, NIC, qdisc, socket, host)."""
+
+    def receive(self, dgram: Datagram) -> None:  # pragma: no cover - protocol
+        ...

@@ -1,0 +1,79 @@
+"""Passive optical fiber tap and sniffer.
+
+The paper captures packets *on the wire between server and bottleneck* with a
+passive optical tap feeding a MoonGen sniffer (timestamp resolution < 2 ns),
+so that measurement neither perturbs the connection nor is re-shaped by the
+network emulation. In simulation the tap is a zero-delay pass-through that
+appends a :class:`CaptureRecord` per frame to its :class:`Sniffer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.net.packet import Datagram, PacketSink
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class CaptureRecord:
+    """One captured frame: everything the evaluation scripts need."""
+
+    time_ns: int
+    wire_size: int
+    payload_size: int
+    flow: Tuple[str, int, str, int]
+    packet_number: Optional[int]
+    dgram_id: int
+    gso_id: Optional[int]
+
+    @property
+    def src(self) -> str:
+        return self.flow[0]
+
+    @property
+    def dst(self) -> str:
+        return self.flow[2]
+
+
+class Sniffer:
+    """Accumulates capture records, in arrival order."""
+
+    def __init__(self, name: str = "sniffer"):
+        self.name = name
+        self.records: List[CaptureRecord] = []
+
+    def capture(self, time_ns: int, dgram: Datagram) -> None:
+        self.records.append(
+            CaptureRecord(
+                time_ns=time_ns,
+                wire_size=dgram.wire_size,
+                payload_size=dgram.payload_size,
+                flow=dgram.flow,
+                packet_number=dgram.packet_number,
+                dgram_id=dgram.dgram_id,
+                gso_id=dgram.gso_id,
+            )
+        )
+
+    def from_host(self, addr: str) -> List[CaptureRecord]:
+        """Records whose source address is ``addr`` (e.g. the server)."""
+        return [r for r in self.records if r.src == addr]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class FiberTap:
+    """Zero-delay pass-through that mirrors every frame to a sniffer."""
+
+    def __init__(self, sim: Simulator, sniffer: Sniffer, sink: Optional[PacketSink] = None):
+        self.sim = sim
+        self.sniffer = sniffer
+        self.sink = sink
+
+    def receive(self, dgram: Datagram) -> None:
+        self.sniffer.capture(self.sim.now, dgram)
+        if self.sink is not None:
+            self.sink.receive(dgram)

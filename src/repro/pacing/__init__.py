@@ -1,0 +1,26 @@
+"""Pacing strategies (the paper's core subject).
+
+Three enforcement styles exist across the studied stacks, all fed by the same
+pacing-rate calculation (cwnd/srtt or BBR's BtlBw):
+
+* :class:`~repro.pacing.interval.IntervalPacer` — quiche/ngtcp2 style: each
+  packet's departure time is the previous packet's time plus ``len/rate``.
+  quiche hands the timestamps to the kernel (SO_TXTIME + FQ/ETF); ngtcp2
+  expects the *application* to sleep until each timestamp.
+* :class:`~repro.pacing.leaky_bucket.LeakyBucketPacer` — picoquic style: a
+  credit bucket refilled at the pacing rate; idle periods accumulate credit,
+  so small bursts follow inactivity (RFC 9002's suggested leaky bucket).
+* :class:`~repro.pacing.null.NullPacer` — no pacing (and the TCP comparator's
+  ACK-clock-only behaviour).
+
+:mod:`repro.pacing.gso_policy` decides how packets are grouped into GSO
+buffers and whether the paced-GSO kernel patch is used.
+"""
+
+from repro.pacing.base import Pacer
+from repro.pacing.null import NullPacer
+from repro.pacing.interval import IntervalPacer
+from repro.pacing.leaky_bucket import LeakyBucketPacer
+from repro.pacing.gso_policy import GsoPolicy
+
+__all__ = ["Pacer", "NullPacer", "IntervalPacer", "LeakyBucketPacer", "GsoPolicy"]

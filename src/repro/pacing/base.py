@@ -1,0 +1,36 @@
+"""Pacer interface.
+
+A pacer answers one question — *when may the next packet depart?* — and is
+told when packets are committed so it can advance its schedule. The pacing
+**rate** comes from the congestion controller; pacers only enforce it.
+"""
+
+from __future__ import annotations
+
+
+class Pacer:
+    """Base pacer."""
+
+    def __init__(self, rate_bps: int = 1_000_000):
+        self._rate_bps = max(rate_bps, 1)
+
+    @property
+    def rate_bps(self) -> int:
+        return self._rate_bps
+
+    def update_rate(self, rate_bps: int, now_ns: int) -> None:
+        """The congestion controller published a new pacing rate."""
+        self._rate_bps = max(rate_bps, 1)
+
+    def release_time(self, now_ns: int, size_bytes: int) -> int:
+        """Earliest time a packet of ``size_bytes`` may depart (>= now or a
+        future instant the caller should wait for / stamp the packet with)."""
+        raise NotImplementedError
+
+    def commit(self, txtime_ns: int, size_bytes: int) -> None:
+        """A packet of ``size_bytes`` was scheduled to depart at ``txtime_ns``."""
+        raise NotImplementedError
+
+    def interval_ns(self, size_bytes: int) -> int:
+        """Nominal spacing for a packet of ``size_bytes`` at the current rate."""
+        return size_bytes * 8 * 1_000_000_000 // self._rate_bps

@@ -1,0 +1,35 @@
+"""GSO batching policy.
+
+Decides how many packets a stack groups into one GSO buffer and whether the
+paced-GSO kernel patch is engaged. The paper discusses the trade-off
+explicitly: bigger buffers → fewer syscalls but burstier traffic; the patch
+recovers per-packet spacing inside the kernel while keeping the batching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GsoPolicy:
+    """:param enabled: use GSO at all.
+    :param max_segments: segment cap per buffer (quiche uses up to 10).
+    :param paced: attach a pacing rate to each buffer (the kernel patch).
+    """
+
+    enabled: bool = False
+    max_segments: int = 10
+    paced: bool = False
+
+    def segments_for(self, available_packets: int) -> int:
+        """How many of ``available_packets`` to coalesce into one buffer."""
+        if not self.enabled:
+            return 1
+        return max(1, min(available_packets, self.max_segments))
+
+
+#: Convenience presets used by experiment configs.
+GSO_DISABLED = GsoPolicy(enabled=False)
+GSO_ENABLED = GsoPolicy(enabled=True, max_segments=10)
+GSO_PACED = GsoPolicy(enabled=True, max_segments=10, paced=True)

@@ -1,0 +1,53 @@
+"""Interval pacing (quiche / ngtcp2 style).
+
+Every packet's departure time is the previous packet's departure time plus
+``previous_size / rate``. After an idle period the schedule snaps forward to
+*now* — no credit accumulates, so there are no post-idle bursts (this is the
+key behavioural difference from picoquic's leaky bucket).
+
+An optional ``burst_budget`` lets the first few packets of a scheduling round
+share a timestamp, mirroring quiche's ability to release a small initial
+burst before spacing kicks in. A short catch-up horizon preserves the
+schedule across slightly-late wake-ups (so a wake-up that overslept one
+interval sends two packets back-to-back, exactly like a token counter), while
+longer idle periods reset the schedule without banking credit.
+"""
+
+from __future__ import annotations
+
+from repro.pacing.base import Pacer
+from repro.units import ms
+
+
+class IntervalPacer(Pacer):
+    def __init__(
+        self,
+        rate_bps: int = 1_000_000,
+        burst_budget_bytes: int = 0,
+        catchup_horizon_ns: int = ms(2),
+    ):
+        super().__init__(rate_bps)
+        self.burst_budget_bytes = burst_budget_bytes
+        self.catchup_horizon_ns = catchup_horizon_ns
+        self._next_time: int | None = None
+        self._burst_left = burst_budget_bytes
+
+    def release_time(self, now_ns: int, size_bytes: int) -> int:
+        if self._next_time is None or now_ns >= self._next_time:
+            # Behind schedule (late wake-up) or idle: may send immediately.
+            return now_ns
+        if self._burst_left >= size_bytes:
+            return max(now_ns, self._next_time - self.interval_ns(self._burst_left))
+        return self._next_time
+
+    def commit(self, txtime_ns: int, size_bytes: int) -> None:
+        if self._next_time is None or txtime_ns - self._next_time > self.catchup_horizon_ns:
+            # First packet or long idle: restart the schedule and refill the
+            # burst budget.
+            self._burst_left = self.burst_budget_bytes
+            self._next_time = txtime_ns + self.interval_ns(size_bytes)
+            return
+        if txtime_ns < self._next_time:
+            self._burst_left = max(0, self._burst_left - size_bytes)
+        # Slightly late: keep the deficit so the schedule catches up.
+        self._next_time += self.interval_ns(size_bytes)

@@ -1,0 +1,13 @@
+"""No pacing: packets depart as soon as the window allows."""
+
+from __future__ import annotations
+
+from repro.pacing.base import Pacer
+
+
+class NullPacer(Pacer):
+    def release_time(self, now_ns: int, size_bytes: int) -> int:
+        return now_ns
+
+    def commit(self, txtime_ns: int, size_bytes: int) -> None:
+        pass

@@ -1,0 +1,20 @@
+"""A QUIC transport implementation (RFC 9000/9002 subset) sufficient to carry
+the paper's workload: 1-RTT file transfer with ACK-based loss recovery,
+pluggable congestion control and pacing, flow control, and an HTTP/3-style
+request/response layer."""
+
+from repro.quic.varint import encode_varint, decode_varint, varint_len
+from repro.quic.packet import QuicPacket, PacketType
+from repro.quic.rtt import RttEstimator
+from repro.quic.connection import Connection, ConnectionConfig
+
+__all__ = [
+    "encode_varint",
+    "decode_varint",
+    "varint_len",
+    "QuicPacket",
+    "PacketType",
+    "RttEstimator",
+    "Connection",
+    "ConnectionConfig",
+]

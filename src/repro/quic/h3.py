@@ -1,0 +1,46 @@
+"""Minimal HTTP/3-style request/response framing.
+
+The workload is a single GET of a fixed-size file, so this layer only needs
+size-accurate framing: varint-typed frames (HEADERS = 0x01, DATA = 0x00) with
+varint lengths, like HTTP/3 on the wire. Header blocks are fixed
+representative byte strings instead of real QPACK.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.quic.varint import decode_varint, encode_varint
+
+FRAME_DATA = 0x00
+FRAME_HEADERS = 0x01
+
+#: Representative QPACK-encoded blocks (sizes matter, contents don't).
+_REQUEST_HEADER_BLOCK = b"\x00" * 37  # :method GET, :path /file, ...
+_RESPONSE_HEADER_BLOCK = b"\x00" * 55  # :status 200, content-length, ...
+
+
+def encode_request(path: str = "/file") -> bytes:
+    block = _REQUEST_HEADER_BLOCK + path.encode()
+    return bytes([FRAME_HEADERS]) + encode_varint(len(block)) + block
+
+
+def encode_response_prefix(body_size: int) -> bytes:
+    """HEADERS frame plus the DATA frame header announcing ``body_size``."""
+    headers = bytes([FRAME_HEADERS]) + encode_varint(len(_RESPONSE_HEADER_BLOCK))
+    headers += _RESPONSE_HEADER_BLOCK
+    data_header = bytes([FRAME_DATA]) + encode_varint(body_size)
+    return headers + data_header
+
+
+def response_stream_size(body_size: int) -> int:
+    """Total stream bytes for a response with ``body_size`` payload bytes."""
+    return len(encode_response_prefix(body_size)) + body_size
+
+
+def parse_frame_header(data: bytes, offset: int = 0) -> tuple[int, int, int]:
+    """Returns ``(frame_type, payload_len, payload_offset)``."""
+    ftype, offset = decode_varint(data, offset)
+    length, offset = decode_varint(data, offset)
+    if ftype not in (FRAME_DATA, FRAME_HEADERS):
+        raise EncodingError(f"unexpected HTTP/3 frame type {ftype}")
+    return ftype, length, offset

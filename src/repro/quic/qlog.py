@@ -1,0 +1,134 @@
+"""qlog-style event tracing for connections.
+
+A lightweight observability layer inspired by the qlog format (draft-ietf-
+quic-qlog): the paper's artifact repository ships detailed per-connection
+logs, and a reproduction should offer the same introspection. Events carry a
+time, a category:event name, and a data dict; traces serialize to
+JSON-seq-like dictionaries compatible with simple qlog tooling.
+
+Usage::
+
+    trace = QlogTrace("server")
+    conn = Connection("server", ...)
+    attach_qlog(conn, trace)
+    ...
+    trace.to_dict()  # or trace.save(path)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+QLOG_VERSION = "0.4"
+
+
+@dataclass
+class QlogEvent:
+    time_ns: int
+    name: str
+    data: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"time": self.time_ns / 1e6, "name": self.name, "data": self.data}
+
+
+class QlogTrace:
+    """Accumulates events for one connection endpoint."""
+
+    def __init__(self, title: str, vantage_point: str = "server"):
+        self.title = title
+        self.vantage_point = vantage_point
+        self.events: List[QlogEvent] = []
+
+    def log(self, time_ns: int, name: str, **data: Any) -> None:
+        self.events.append(QlogEvent(time_ns, name, data))
+
+    def of_type(self, name: str) -> List[QlogEvent]:
+        return [e for e in self.events if e.name == name]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "qlog_version": QLOG_VERSION,
+            "title": self.title,
+            "trace": {
+                "vantage_point": {"type": self.vantage_point},
+                "events": [e.to_dict() for e in self.events],
+            },
+        }
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=1))
+        return path
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def attach_qlog(conn, trace: QlogTrace) -> None:
+    """Instrument a Connection with qlog events by wrapping its hooks.
+
+    Events emitted:
+
+    * ``transport:packet_sent`` — pn, size, ack-eliciting, frame types;
+    * ``transport:packet_received`` — pn, size;
+    * ``recovery:metrics_updated`` — cwnd, bytes_in_flight, srtt (on ACK);
+    * ``recovery:packet_lost`` — pn per lost packet;
+    * ``recovery:spurious_loss`` — pns of late-acked packets;
+    * ``recovery:congestion_event`` — new cwnd after a reduction.
+    """
+
+    orig_on_packet_sent = conn.on_packet_sent
+    orig_process_ack = conn._process_ack
+    orig_handle_lost = conn._handle_lost
+
+    def on_packet_sent(built, now):
+        orig_on_packet_sent(built, now)
+        trace.log(
+            now,
+            "transport:packet_sent",
+            packet_number=built.packet.packet_number,
+            size=built.size,
+            ack_eliciting=built.ack_eliciting,
+            frames=[type(f).__name__ for f in built.packet.frames],
+        )
+
+    def process_ack(ack, now):
+        events_before = conn.cc.congestion_events
+        spurious_before = conn.spurious_loss_events
+        orig_process_ack(ack, now)
+        trace.log(
+            now,
+            "recovery:metrics_updated",
+            cwnd=conn.cc.cwnd,
+            bytes_in_flight=conn.recovery.bytes_in_flight,
+            smoothed_rtt_ms=conn.rtt.smoothed_rtt / 1e6,
+            pacing_rate_bps=conn.pacing_rate_bps(),
+        )
+        if conn.cc.congestion_events > events_before:
+            trace.log(now, "recovery:congestion_event", cwnd=conn.cc.cwnd)
+        if conn.spurious_loss_events > spurious_before:
+            trace.log(now, "recovery:spurious_loss", count=conn.spurious_loss_events)
+
+    def handle_lost(lost, now):
+        for sp in lost:
+            trace.log(now, "recovery:packet_lost", packet_number=sp.pn, size=sp.size)
+        orig_handle_lost(lost, now)
+
+    orig_on_datagram = conn.on_datagram
+
+    def on_datagram(data, now, ecn=0):
+        before = conn.packets_received
+        orig_on_datagram(data, now, ecn=ecn)
+        if conn.packets_received > before:
+            trace.log(now, "transport:packet_received", size=len(data), ecn=ecn)
+
+    conn.on_packet_sent = on_packet_sent
+    conn._process_ack = process_ack
+    conn._handle_lost = handle_lost
+    conn.on_datagram = on_datagram
+    conn.qlog = trace

@@ -1,0 +1,97 @@
+"""Byte/packet range set with merge semantics.
+
+Used by receive streams (reassembly tracking), send streams (acked bytes) and
+tests. Ranges are half-open ``[start, end)`` over non-negative integers.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator, List, Tuple
+
+
+class RangeSet:
+    """Sorted set of disjoint half-open ranges."""
+
+    def __init__(self) -> None:
+        self._ranges: List[List[int]] = []
+
+    def add(self, start: int, end: int) -> int:
+        """Insert ``[start, end)``; returns the number of newly covered ints."""
+        if end <= start:
+            return 0
+        ranges = self._ranges
+        starts = [r[0] for r in ranges]
+        i = bisect_left(starts, start)
+        # The predecessor may overlap or touch.
+        if i > 0 and ranges[i - 1][1] >= start:
+            i -= 1
+        new_start, new_end = start, end
+        added = end - start
+        j = i
+        while j < len(ranges) and ranges[j][0] <= new_end:
+            lo, hi = ranges[j]
+            added -= _overlap(start, end, lo, hi)
+            new_start = min(new_start, lo)
+            new_end = max(new_end, hi)
+            j += 1
+        ranges[i:j] = [[new_start, new_end]]
+        return max(added, 0)
+
+    def contains(self, value: int) -> bool:
+        starts = [r[0] for r in self._ranges]
+        i = bisect_left(starts, value + 1) - 1
+        return i >= 0 and self._ranges[i][0] <= value < self._ranges[i][1]
+
+    def covers(self, start: int, end: int) -> bool:
+        """True if the whole of ``[start, end)`` is present."""
+        if end <= start:
+            return True
+        starts = [r[0] for r in self._ranges]
+        i = bisect_left(starts, start + 1) - 1
+        return i >= 0 and self._ranges[i][0] <= start and self._ranges[i][1] >= end
+
+    def first_gap_from(self, start: int) -> int:
+        """Smallest value >= start not in the set (the contiguous frontier)."""
+        pos = start
+        for lo, hi in self._ranges:
+            if lo > pos:
+                return pos
+            if pos < hi:
+                pos = hi
+        return pos
+
+    def missing_within(self, start: int, end: int) -> List[Tuple[int, int]]:
+        """Sub-ranges of ``[start, end)`` not present in the set."""
+        gaps: List[Tuple[int, int]] = []
+        pos = start
+        for lo, hi in self._ranges:
+            if hi <= pos:
+                continue
+            if lo >= end:
+                break
+            if lo > pos:
+                gaps.append((pos, min(lo, end)))
+            pos = max(pos, hi)
+            if pos >= end:
+                return gaps
+        if pos < end:
+            gaps.append((pos, end))
+        return gaps
+
+    @property
+    def total(self) -> int:
+        return sum(hi - lo for lo, hi in self._ranges)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return (tuple(r) for r in self._ranges)
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    def __repr__(self) -> str:
+        return f"RangeSet({[tuple(r) for r in self._ranges]})"
+
+
+def _overlap(a0: int, a1: int, b0: int, b1: int) -> int:
+    return max(0, min(a1, b1) - max(a0, b0))

@@ -1,0 +1,80 @@
+"""Timer-imprecision models.
+
+User-space pacing quality in the paper is dominated by three effects that we
+model explicitly instead of inheriting implicitly from the host OS:
+
+* **timer granularity** — an event loop's timers (epoll_wait timeouts, coarse
+  library tick) only fire on a grid; requested wake times round *up* to the
+  next grid point;
+* **scheduler wake-up jitter** — after a timer expires, the OS takes a
+  variable amount of time to actually run the process (log-normal tail);
+* **fixed overhead** — minimum latency from timer expiry to user code.
+
+A :class:`TimerModel` combines all three and maps a *requested* wake time to
+the *actual* wake time.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.units import us
+
+
+@dataclass(frozen=True)
+class JitterModel:
+    """Log-normal scheduling jitter.
+
+    ``median_ns`` is the median extra delay; ``sigma`` the log-space standard
+    deviation (0 disables randomness and always yields the median).
+    """
+
+    median_ns: int = 0
+    sigma: float = 0.0
+
+    def sample(self, rng: random.Random) -> int:
+        if self.median_ns <= 0:
+            return 0
+        if self.sigma <= 0.0:
+            return self.median_ns
+        return round(self.median_ns * math.exp(rng.gauss(0.0, self.sigma)))
+
+
+@dataclass(frozen=True)
+class TimerModel:
+    """Maps requested wake-up times to actual wake-up times.
+
+    :param granularity_ns: timers fire only on multiples of this grid (0 or 1
+        disables quantization). Models coarse event-loop ticks.
+    :param overhead_ns: fixed latency between expiry and user code running.
+    :param jitter: stochastic scheduling delay added on top.
+    """
+
+    granularity_ns: int = 0
+    overhead_ns: int = 0
+    jitter: JitterModel = JitterModel()
+
+    def fire_time(self, requested_ns: int, now_ns: int, rng: random.Random) -> int:
+        """Actual time the wake-up lands, given it was requested for
+        ``requested_ns`` while the clock reads ``now_ns``."""
+        t = max(requested_ns, now_ns)
+        if self.granularity_ns > 1:
+            # Timers can only fire on grid points; round up.
+            t = -(-t // self.granularity_ns) * self.granularity_ns
+        t += self.overhead_ns + self.jitter.sample(rng)
+        return max(t, now_ns)
+
+
+#: An idealized timer: fires exactly when requested.
+PERFECT_TIMER = TimerModel()
+
+#: A typical high-resolution event loop (epoll + timerfd) on a busy host:
+#: ~4 µs median wake-up latency with a moderate tail.
+HIGHRES_TIMER = TimerModel(overhead_ns=us(2), jitter=JitterModel(median_ns=us(4), sigma=0.6))
+
+#: A coarse millisecond-granularity loop (poll with ms timeouts).
+COARSE_MS_TIMER = TimerModel(
+    granularity_ns=us(1000), overhead_ns=us(2), jitter=JitterModel(median_ns=us(8), sigma=0.6)
+)

@@ -1,0 +1,142 @@
+"""Nanosecond-resolution discrete-event engine.
+
+The engine is a classic calendar built on a binary heap. Events scheduled for
+the same instant fire in scheduling order (FIFO), which keeps simulations
+deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event."""
+
+    __slots__ = ("time", "seq", "fn", "args", "_cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Safe to call more than once."""
+        self._cancelled = True
+        # Drop references so cancelled events don't pin objects in the heap.
+        self.fn = _noop
+        self.args = ()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else "pending"
+        return f"<EventHandle t={self.time} seq={self.seq} {state}>"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Simulator:
+    """The event calendar and simulated clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(ms(5), my_callback, arg1)
+        sim.run(until=seconds(10))
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._heap: list[EventHandle] = []
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    def schedule(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay_ns`` from now."""
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule {delay_ns}ns in the past")
+        return self.schedule_at(self._now + delay_ns, fn, *args)
+
+    def schedule_at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute time ``time_ns``."""
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_ns}ns, already at {self._now}ns"
+            )
+        handle = EventHandle(time_ns, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at the current instant (after pending same-time events)."""
+        return self.schedule_at(self._now, fn, *args)
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the calendar (including cancelled ones)."""
+        return len(self._heap)
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event, or None if the calendar is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next live event. Returns False if there was none."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            self.events_processed += 1
+            handle.fn(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the calendar is empty, ``until`` is reached, or
+        ``max_events`` have been processed.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the calendar empties earlier.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while True:
+                if max_events is not None and processed >= max_events:
+                    return
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                processed += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False

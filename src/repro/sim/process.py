@@ -1,0 +1,90 @@
+"""Event-loop processes.
+
+A :class:`SimProcess` models a user-space program built around an event loop:
+it sleeps until either a timer it armed expires or an external event (packet
+arrival) wakes it, then runs its ``on_wakeup`` handler. Timer arming goes
+through the process's :class:`~repro.sim.clock.TimerModel`, so granularity and
+scheduling jitter apply to *timer* wake-ups, while external wake-ups (epoll on
+a ready socket) only pay the scheduling jitter.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.sim.clock import TimerModel, PERFECT_TIMER
+from repro.sim.engine import EventHandle, Simulator
+
+
+class SimProcess:
+    """Base class for simulated event-loop programs.
+
+    Subclasses implement :meth:`on_wakeup`. The process guarantees at most one
+    pending wake-up at a time: re-arming with an earlier deadline replaces the
+    pending one; re-arming with a later deadline is ignored (the loop will
+    re-evaluate and re-arm when it runs).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        timer_model: TimerModel = PERFECT_TIMER,
+        rng: Optional[random.Random] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.timer_model = timer_model
+        self.rng = rng or random.Random(0)
+        self._pending: Optional[EventHandle] = None
+        self._pending_deadline: Optional[int] = None
+        self.wakeups = 0
+
+    # -- arming ---------------------------------------------------------
+
+    def arm_timer(self, deadline_ns: int) -> None:
+        """Ask to be woken at ``deadline_ns`` (modulo timer imprecision)."""
+        if self._pending is not None and self._pending_deadline is not None:
+            if deadline_ns >= self._pending_deadline:
+                return
+            self._pending.cancel()
+        fire = self.timer_model.fire_time(deadline_ns, self.sim.now, self.rng)
+        self._pending_deadline = deadline_ns
+        self._pending = self.sim.schedule_at(fire, self._fire)
+
+    def wake_now(self) -> None:
+        """External wake-up (e.g. socket became readable).
+
+        Pays scheduling jitter but not timer granularity, and supersedes any
+        pending timer.
+        """
+        if self._pending is not None:
+            self._pending.cancel()
+        delay = self.timer_model.jitter.sample(self.rng)
+        self._pending_deadline = self.sim.now
+        self._pending = self.sim.schedule(delay, self._fire)
+
+    def cancel_timer(self) -> None:
+        if self._pending is not None:
+            self._pending.cancel()
+        self._pending = None
+        self._pending_deadline = None
+
+    @property
+    def timer_armed(self) -> bool:
+        return self._pending is not None and not self._pending.cancelled
+
+    # -- dispatch -------------------------------------------------------
+
+    def _fire(self) -> None:
+        self._pending = None
+        self._pending_deadline = None
+        self.wakeups += 1
+        self.on_wakeup()
+
+    def on_wakeup(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

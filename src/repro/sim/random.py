@@ -1,0 +1,38 @@
+"""Deterministic per-component random streams.
+
+Every stochastic component (scheduler jitter for the server, for the client,
+qdisc hashing, …) draws from its own named stream derived from a single root
+seed. This keeps repetitions reproducible and means adding randomness to one
+component never perturbs another.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RngRegistry:
+    """Factory for named, independently-seeded :class:`random.Random` streams."""
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it deterministically."""
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(f"{self.seed}/{name}".encode()).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng
+
+    def fork(self, subseed: int) -> "RngRegistry":
+        """Derive a registry for a repetition index or sub-experiment."""
+        digest = hashlib.sha256(f"{self.seed}:fork:{subseed}".encode()).digest()
+        return RngRegistry(int.from_bytes(digest[:8], "big"))
+
+    def __repr__(self) -> str:
+        return f"RngRegistry(seed={self.seed}, streams={sorted(self._streams)})"

@@ -1,0 +1,14 @@
+"""Kernel-TCP + TLS comparator (the paper's nginx + wget baseline).
+
+A compact but mechanistically faithful kernel TCP sender: ACK-clocked
+transmission, CUBIC with classic HyStart, duplicate-ACK fast retransmit, RTO,
+delayed ACKs at the receiver. TCP lives in the kernel, so there is no
+event-loop scheduling jitter — which is exactly why its wire behaviour is so
+much smoother than unpaced user-space QUIC in the baseline measurements.
+"""
+
+from repro.tcp.segment import TcpSegment, TCP_MSS
+from repro.tcp.sender import TcpSender
+from repro.tcp.receiver import TcpReceiver
+
+__all__ = ["TcpSegment", "TCP_MSS", "TcpSender", "TcpReceiver"]

@@ -1,0 +1,101 @@
+"""TCP receiver with classic delayed ACKs.
+
+Acknowledges every second segment immediately, otherwise after the delayed-ACK
+timeout (40 ms, Linux default); out-of-order arrivals trigger immediate
+duplicate ACKs, which drive the sender's fast retransmit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.socket import SendSpec, UdpSocket
+from repro.quic.ranges import RangeSet
+from repro.sim.engine import EventHandle, Simulator
+from repro.tcp.segment import TcpSegment
+from repro.units import ms
+
+DELAYED_ACK_TIMEOUT = ms(40)
+
+
+class TcpReceiver:
+    def __init__(self, sim: Simulator, socket: UdpSocket, expected_size: int):
+        self.sim = sim
+        self.socket = socket
+        self.expected_size = expected_size
+        socket.on_readable = self._on_readable
+
+        self.received = RangeSet()
+        self.fin_seq: Optional[int] = None
+        self.rcv_nxt = 0
+        self._unacked_segments = 0
+        self._delack_timer: Optional[EventHandle] = None
+        self.first_data_at: Optional[int] = None
+        self.completed_at: Optional[int] = None
+        self.acks_sent = 0
+        self.bytes_received_total = 0
+
+    def _on_readable(self) -> None:
+        now = self.sim.now
+        for dgram in self.socket.recv_all():
+            segment = dgram.payload
+            if isinstance(segment, TcpSegment) and segment.is_data:
+                self._on_data(segment, now)
+
+    def _on_data(self, segment: TcpSegment, now: int) -> None:
+        if self.first_data_at is None:
+            self.first_data_at = now
+        self.bytes_received_total += segment.length
+        if segment.length:
+            self.received.add(segment.seq, segment.seq + segment.length)
+        if segment.fin:
+            self.fin_seq = segment.seq + segment.length
+        old_rcv_nxt = self.rcv_nxt
+        self.rcv_nxt = self.received.first_gap_from(0)
+        out_of_order = segment.seq > old_rcv_nxt or self.rcv_nxt < self._highest_seen()
+        if (
+            self.completed_at is None
+            and self.fin_seq is not None
+            and self.rcv_nxt >= self.fin_seq
+        ):
+            self.completed_at = now
+        self._unacked_segments += 1
+        if out_of_order or self._unacked_segments >= 2 or self.completed_at is not None:
+            self._send_ack()
+        elif self._delack_timer is None:
+            self._delack_timer = self.sim.schedule(DELAYED_ACK_TIMEOUT, self._send_ack)
+
+    def _highest_seen(self) -> int:
+        high = 0
+        for _lo, hi in self.received:
+            high = max(high, hi)
+        return high
+
+    def _sack_blocks(self) -> tuple:
+        """Up to three received ranges above the cumulative ACK (RFC 2018)."""
+        blocks = [
+            (lo, hi)
+            for lo, hi in self.received
+            if hi > self.rcv_nxt
+        ]
+        # Highest (most recent) blocks first, as real stacks report them.
+        blocks.sort(key=lambda b: -b[1])
+        return tuple(blocks[:3])
+
+    def _send_ack(self) -> None:
+        if self._delack_timer is not None:
+            self._delack_timer.cancel()
+            self._delack_timer = None
+        self._unacked_segments = 0
+        ack = TcpSegment(
+            seq=0,
+            length=0,
+            ack_no=self.rcv_nxt,
+            sack_blocks=self._sack_blocks(),
+        )
+        self.acks_sent += 1
+        self.socket.sendmsg(SendSpec(payload=ack, payload_size=ack.wire_payload))
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None

@@ -1,0 +1,41 @@
+"""TCP segment model.
+
+Sizes are chosen so wire footprints are comparable with the QUIC stacks: the
+MSS carries a TLS record chunk, and ``payload_size`` on the datagram counts
+TCP header + TLS framing + payload, so serialization delays match reality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Application bytes per full segment (1500 MTU - IP/TCP headers - TLS framing).
+TCP_MSS = 1380
+#: TCP header (20 + 12 options) + TLS record overhead, charged on the wire
+#: beyond the UDP-equivalent header already counted by Datagram overhead.
+TCP_WIRE_EXTRA = 24 + 29
+
+#: Maximum SACK blocks per segment (as on the wire with timestamps enabled).
+MAX_SACK_BLOCKS = 3
+
+
+@dataclass(frozen=True)
+class TcpSegment:
+    """One TCP segment (data or pure ACK)."""
+
+    seq: int  # first application byte carried
+    length: int  # application bytes carried (0 for pure ACK)
+    ack_no: int  # cumulative acknowledgment
+    fin: bool = False
+    #: SACK blocks: up to three [lo, hi) byte ranges received above ack_no,
+    #: most recently changed first (RFC 2018).
+    sack_blocks: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def wire_payload(self) -> int:
+        return self.length + TCP_WIRE_EXTRA
+
+    @property
+    def is_data(self) -> bool:
+        return self.length > 0 or self.fin

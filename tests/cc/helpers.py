@@ -1,0 +1,36 @@
+"""Shared helpers for congestion-control tests."""
+
+from __future__ import annotations
+
+from repro.quic.recovery import SentPacket
+from repro.quic.rtt import RttEstimator
+from repro.units import ms
+
+MTU = 1252
+
+
+def sp(pn: int, t: int, size: int = MTU, app_limited: bool = False) -> SentPacket:
+    packet = SentPacket(pn=pn, time_sent=t, size=size, ack_eliciting=True, in_flight=True)
+    packet.is_app_limited = app_limited
+    return packet
+
+
+def rtt_of(value_ns: int) -> RttEstimator:
+    rtt = RttEstimator()
+    rtt.update(value_ns)
+    return rtt
+
+
+def drive_acks(cc, count: int, start_pn: int = 0, rtt_ns: int = ms(40), t0: int | None = None):
+    """Feed `count` single-packet ACKs with a cwnd-limited flight."""
+    rtt = rtt_of(rtt_ns)
+    # Default start leaves send times non-negative (and out of "recovery").
+    now = rtt_ns if t0 is None else t0
+    pn = start_pn
+    for _ in range(count):
+        packet = sp(pn, now - rtt_ns)
+        cc.on_packet_sent(packet, cc.cwnd, now - rtt_ns)
+        cc.on_packets_acked([packet], now, rtt, cc.cwnd, 0)
+        pn += 1
+        now += rtt_ns // 10
+    return pn, now

@@ -1,0 +1,79 @@
+"""CongestionController base behaviour shared by all algorithms."""
+
+from repro.cc.base import CongestionController, K_INITIAL_RTT_NS
+from repro.quic.rtt import RttEstimator
+from repro.units import ms
+from tests.cc.helpers import MTU
+
+
+class Minimal(CongestionController):
+    def on_packets_acked(self, *a, **k):
+        pass
+
+    def on_packets_lost(self, *a, **k):
+        pass
+
+
+def test_can_send_window_arithmetic():
+    cc = Minimal(mtu=MTU, initial_window_packets=10)
+    assert cc.can_send(0) == 10 * MTU
+    assert cc.can_send(9 * MTU) == MTU
+    assert cc.can_send(11 * MTU) == 0
+
+
+def test_in_recovery_semantics():
+    cc = Minimal()
+    assert not cc.in_recovery(0)
+    cc.recovery_start_time = ms(100)
+    assert cc.in_recovery(ms(100))
+    assert cc.in_recovery(ms(50))
+    assert not cc.in_recovery(ms(101))
+
+
+def test_in_slow_start_tracks_ssthresh():
+    cc = Minimal()
+    assert cc.in_slow_start
+    cc.ssthresh = cc.cwnd
+    assert not cc.in_slow_start
+
+
+def test_pacing_rate_uses_initial_rtt_before_samples():
+    cc = Minimal(mtu=MTU)
+    rtt = RttEstimator()
+    expected = int(cc.cwnd * 8 * 1e9 / K_INITIAL_RTT_NS * cc.pacing_gain_factor)
+    assert abs(cc.pacing_rate_bps(rtt) - expected) <= expected // 100
+
+
+def test_pacing_rate_floor():
+    cc = Minimal(mtu=MTU)
+    cc.cwnd = 1  # absurdly small window
+    rtt = RttEstimator()
+    rtt.update(ms(40))
+    assert cc.pacing_rate_bps(rtt) >= 8 * MTU
+
+
+def test_pacing_gain_factor_scales_rate():
+    cc = Minimal(mtu=MTU)
+    rtt = RttEstimator()
+    rtt.update(ms(40))
+    base = cc.pacing_rate_bps(rtt)
+    cc.pacing_gain_factor = 2.5
+    assert abs(cc.pacing_rate_bps(rtt) - base * 2) >= 0  # sanity
+    assert cc.pacing_rate_bps(rtt) > base
+
+
+def test_trace_disabled_by_default():
+    cc = Minimal()
+    cc._record(0)
+    assert cc.cwnd_trace == []
+    cc.enable_trace()
+    cc._record(5)
+    assert len(cc.cwnd_trace) == 2
+
+
+def test_default_hooks_are_noops():
+    cc = Minimal()
+    cc.on_spurious_loss([1], 0, 0)
+    cc.on_ecn_ce(0, 0)
+    cc.on_packet_sent(None, 0, 0)
+    cc.on_rate_sample(None, 0)

@@ -1,0 +1,180 @@
+"""BBR state machine: startup compounding, drain, probe_bw, probe_rtt, variants."""
+
+from repro.cc.bbr import (
+    Bbr,
+    BbrParams,
+    DRAIN_GAIN,
+    NGTCP2_BBR_PARAMS,
+    PROBE_BW_GAINS,
+    STARTUP_GAIN,
+)
+from repro.quic.recovery import RateSample
+from tests.cc.helpers import MTU, rtt_of, sp
+from repro.units import SEC, mbit, ms
+
+
+def make(**kwargs):
+    return Bbr(mtu=MTU, **kwargs)
+
+
+def sample(rate_bps, rtt_ns=ms(40), app_limited=False):
+    return RateSample(
+        delivery_rate_bps=float(rate_bps),
+        interval_ns=rtt_ns,
+        delivered_bytes=int(rate_bps * rtt_ns / (8 * SEC)),
+        is_app_limited=app_limited,
+        rtt_ns=rtt_ns,
+    )
+
+
+def feed_round(cc, rate_bps, now, rtt=None, bif=None):
+    """One round: a rate sample plus an ack that advances the round counter."""
+    rtt = rtt or rtt_of(ms(40))
+    cc.on_rate_sample(sample(rate_bps), now)
+    p = sp(cc.round_count, now - ms(40))
+    p.delivered = cc._next_round_delivered  # force a round boundary
+    cc.on_packets_acked([p], now, rtt, bif if bif is not None else cc.cwnd, 0)
+
+
+def test_starts_in_startup_with_high_gain():
+    cc = make()
+    assert cc.state == "startup"
+    assert cc.pacing_gain == STARTUP_GAIN
+
+
+def test_btlbw_is_windowed_max():
+    cc = make()
+    cc.on_rate_sample(sample(mbit(10)), 0)
+    cc.on_rate_sample(sample(mbit(30)), 1)
+    cc.on_rate_sample(sample(mbit(20)), 2)
+    assert cc.btlbw_bps == mbit(30)
+
+
+def test_app_limited_samples_do_not_lower_estimate():
+    cc = make()
+    cc.on_rate_sample(sample(mbit(30)), 0)
+    cc.on_rate_sample(sample(mbit(5), app_limited=True), 1)
+    assert cc.btlbw_bps == mbit(30)
+    # But an app-limited sample above the estimate still counts.
+    cc.on_rate_sample(sample(mbit(40), app_limited=True), 2)
+    assert cc.btlbw_bps == mbit(40)
+
+
+def test_startup_exits_after_plateau():
+    cc = make()
+    now = ms(40)
+    rate = mbit(5)
+    # Growing samples keep startup alive.
+    for _ in range(4):
+        feed_round(cc, rate, now)
+        rate = int(rate * 2)
+        now += ms(40)
+    assert cc.state == "startup"
+    # Plateau for three rounds -> full pipe -> drain.
+    for _ in range(4):
+        feed_round(cc, rate, now)
+        now += ms(40)
+    assert cc.filled_pipe
+    assert cc.state in ("drain", "probe_bw")
+
+
+def test_drain_uses_inverse_gain_then_probe_bw():
+    cc = make()
+    now = ms(40)
+    rate = mbit(5)
+    for _ in range(8):
+        feed_round(cc, rate, now, bif=10**9)  # keep inflight high: stay in drain
+        rate = min(int(rate * 2), mbit(40))
+        now += ms(40)
+    assert cc.state == "drain"
+    assert cc.pacing_gain == DRAIN_GAIN
+    # Once inflight falls to BDP, probe_bw begins.
+    feed_round(cc, mbit(40), now, bif=0)
+    assert cc.state == "probe_bw"
+    assert cc.pacing_gain in PROBE_BW_GAINS
+
+
+def test_probe_bw_cycles_gains():
+    cc = make()
+    now = ms(40)
+    rate = mbit(40)
+    for _ in range(10):
+        feed_round(cc, rate, now, bif=0)
+        now += ms(40)
+    assert cc.state == "probe_bw"
+    seen = set()
+    for _ in range(16):
+        feed_round(cc, rate, now, bif=int(0.5 * cc.cwnd))
+        seen.add(cc.pacing_gain)
+        now += ms(40)
+    assert 1.25 in seen and 0.75 in seen
+
+
+def test_pacing_rate_follows_btlbw():
+    cc = make()
+    rtt = rtt_of(ms(40))
+    cc.on_rate_sample(sample(mbit(40)), 0)
+    assert cc.pacing_rate_bps(rtt) == int(STARTUP_GAIN * mbit(40))
+
+
+def test_pacing_rate_before_estimate_uses_cwnd():
+    cc = make()
+    rtt = rtt_of(ms(40))
+    assert cc.pacing_rate_bps(rtt) > 0
+
+
+def test_cwnd_tracks_gain_times_bdp():
+    cc = make()
+    now = ms(40)
+    rate = mbit(5)
+    for _ in range(10):
+        feed_round(cc, rate, now, bif=0)
+        rate = min(int(rate * 2), mbit(40))
+        now += ms(40)
+    bdp = mbit(40) * ms(40) / (8 * SEC)
+    assert cc.filled_pipe
+    assert abs(cc.cwnd - cc.params.cwnd_gain * bdp) < 4 * MTU
+
+
+def test_probe_rtt_entered_when_rtprop_stale():
+    cc = make()
+    now = ms(40)
+    rate = mbit(40)
+    for _ in range(8):
+        feed_round(cc, rate, now, bif=0)
+        now += ms(40)
+    # Do not refresh min RTT for > 10 s.
+    rtt = rtt_of(ms(50))
+    now += 11 * SEC
+    feed_round(cc, rate, now, rtt=rtt, bif=int(0.5 * cc.cwnd))
+    assert cc.state == "probe_rtt"
+    assert cc.cwnd <= 4 * MTU
+    # After the probe duration, back to probe_bw with restored window.
+    now += ms(250)
+    feed_round(cc, rate, now, rtt=rtt, bif=0)
+    assert cc.state == "probe_bw"
+    assert cc.cwnd > 4 * MTU
+
+
+def test_loss_response_bounds_cwnd():
+    cc = make()
+    now = ms(40)
+    for _ in range(8):
+        feed_round(cc, mbit(40), now, bif=0)
+        now += ms(40)
+    before = cc.cwnd
+    cc.on_packets_lost([sp(999, now) for _ in range(4)], now + 1, cc.cwnd, 4)
+    assert cc.cwnd <= before
+
+
+def test_ngtcp2_variant_ignores_loss_and_keeps_gain():
+    cc = make(params=NGTCP2_BBR_PARAMS)
+    now = ms(40)
+    for _ in range(8):
+        feed_round(cc, mbit(40), now, bif=0)
+        now += ms(40)
+    before = cc.cwnd
+    cc.on_packets_lost([sp(999, now)], now + 1, cc.cwnd, 1)
+    assert cc.cwnd == before
+    assert cc.params.cwnd_gain > BbrParams().cwnd_gain
+    assert not cc.params.drain_enabled

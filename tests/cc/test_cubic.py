@@ -1,0 +1,149 @@
+"""CUBIC (RFC 9438) including quiche's spurious-loss rollback."""
+
+from repro.cc.cubic import BETA_CUBIC, Cubic, CubicParams
+from tests.cc.helpers import MTU, drive_acks, rtt_of, sp
+from repro.units import ms, seconds
+
+
+def make(**params):
+    params.setdefault("hystart", False)
+    return Cubic(params=CubicParams(**params), mtu=MTU)
+
+
+def test_slow_start_exponential():
+    cc = make()
+    start = cc.cwnd
+    drive_acks(cc, 20)
+    assert cc.cwnd == start + 20 * MTU
+
+
+def test_beta_reduction_on_loss():
+    cc = make()
+    drive_acks(cc, 100)
+    before = cc.cwnd
+    cc.on_packets_lost([sp(200, ms(2000))], ms(2005), cc.cwnd, 1)
+    assert cc.cwnd == int(before * BETA_CUBIC)
+    assert not cc.in_slow_start
+
+
+def test_loss_ends_slow_start_permanently():
+    cc = make(hystart=True)
+    cc.on_packets_lost([sp(5, ms(100))], ms(105), cc.cwnd, 1)
+    assert cc.hystart.done
+
+
+def test_concave_growth_toward_w_max():
+    cc = make()
+    drive_acks(cc, 200)
+    w_at_loss = cc.cwnd
+    cc.on_packets_lost([sp(300, ms(3000))], ms(3001), cc.cwnd, 1)
+    reduced = cc.cwnd
+    # Drive acks for a simulated while; cwnd approaches but respects W_max.
+    rtt = rtt_of(ms(40))
+    now = ms(3100)
+    for i in range(400):
+        p = sp(400 + i, now - ms(40))
+        cc.on_packet_sent(p, cc.cwnd, now - ms(40))
+        cc.on_packets_acked([p], now, rtt, cc.cwnd, 1)
+        now += ms(4)
+    assert cc.cwnd > reduced
+    # Within the concave region the window should not wildly overshoot W_max.
+    assert cc.cwnd <= int(w_at_loss * 1.6)
+
+
+def test_convex_growth_after_k():
+    cc = make()
+    drive_acks(cc, 30)
+    cc.on_packets_lost([sp(200, ms(2000))], ms(2001), cc.cwnd, 1)
+    rtt = rtt_of(ms(40))
+    # The cubic epoch starts at the first CA ack; driving past K (a few
+    # seconds for this W_max) must push cwnd beyond W_max (convex region).
+    w_max_bytes = cc.w_max * MTU
+    now = ms(2100)
+    for i in range(600):
+        p = sp(500 + i, now - ms(40))
+        cc.on_packet_sent(p, cc.cwnd, now - ms(40))
+        cc.on_packets_acked([p], now, rtt, cc.cwnd, 1)
+        now += ms(20)  # 12 simulated seconds overall
+    assert cc.cwnd > w_max_bytes
+
+
+def test_fast_convergence_lowers_w_max():
+    cc = make(fast_convergence=True)
+    drive_acks(cc, 100)
+    cc.on_packets_lost([sp(200, ms(2000))], ms(2001), cc.cwnd, 1)
+    first_w_max = cc.w_max
+    # Second loss at a lower cwnd: w_max shrinks below current cwnd segments.
+    cc.on_packets_lost([sp(300, ms(3000))], ms(3001), cc.cwnd, 2)
+    assert cc.w_max < first_w_max
+
+
+class TestRollback:
+    def test_rollback_restores_checkpoint(self):
+        cc = make(spurious_rollback=True, rollback_loss_threshold=5)
+        drive_acks(cc, 100)
+        before = cc.cwnd
+        cc.on_packets_lost([sp(200, ms(2000))], ms(2005), cc.cwnd, 1)
+        assert cc.cwnd < before
+        # ACK for a packet sent after recovery began, few losses since.
+        rtt = rtt_of(ms(40))
+        p = sp(201, ms(2010))
+        cc.on_packets_acked([p], ms(2050), rtt, cc.cwnd, 1)
+        assert cc.cwnd == before
+        assert cc.rollbacks == 1
+
+    def test_no_rollback_above_threshold(self):
+        cc = make(spurious_rollback=True, rollback_loss_threshold=5, rollback_loss_fraction=0.0)
+        drive_acks(cc, 100)
+        before = cc.cwnd
+        lost = [sp(200 + i, ms(2000)) for i in range(6)]
+        cc.on_packets_lost(lost, ms(2005), cc.cwnd, 6)
+        rtt = rtt_of(ms(40))
+        cc.on_packets_acked([sp(210, ms(2010))], ms(2050), rtt, cc.cwnd, 6)
+        assert cc.cwnd < before
+        assert cc.rollbacks == 0
+
+    def test_threshold_scales_with_cwnd(self):
+        cc = make(spurious_rollback=True, rollback_loss_threshold=5, rollback_loss_fraction=0.10)
+        drive_acks(cc, 200)  # large cwnd
+        before = cc.cwnd
+        lost = [sp(300 + i, ms(3000)) for i in range(10)]
+        # 10 losses > 5 but < 10% of cwnd in packets: still spurious.
+        assert 10 < 0.10 * before / MTU
+        cc.on_packets_lost(lost, ms(3005), cc.cwnd, 10)
+        rtt = rtt_of(ms(40))
+        cc.on_packets_acked([sp(310, ms(3010))], ms(3050), rtt, cc.cwnd, 10)
+        assert cc.cwnd == before
+
+    def test_ack_before_recovery_keeps_checkpoint(self):
+        cc = make(spurious_rollback=True)
+        drive_acks(cc, 100)
+        before = cc.cwnd
+        cc.on_packets_lost([sp(200, ms(2000))], ms(2005), cc.cwnd, 1)
+        rtt = rtt_of(ms(40))
+        # Ack for a pre-recovery packet: decision deferred.
+        cc.on_packets_acked([sp(199, ms(1999))], ms(2006), rtt, cc.cwnd, 1)
+        assert cc.cwnd < before
+        # Then the post-recovery ack rolls back.
+        cc.on_packets_acked([sp(201, ms(2010))], ms(2050), rtt, cc.cwnd, 1)
+        assert cc.cwnd == before
+
+    def test_spurious_loss_event_rolls_back(self):
+        cc = make(spurious_rollback=True)
+        drive_acks(cc, 100)
+        before = cc.cwnd
+        cc.on_packets_lost([sp(200, ms(2000))], ms(2005), cc.cwnd, 1)
+        cc.on_spurious_loss([200], ms(2040), 1)
+        assert cc.cwnd == before
+        assert cc.rollbacks == 1
+
+    def test_disabled_never_rolls_back(self):
+        cc = make(spurious_rollback=False)
+        drive_acks(cc, 100)
+        before = cc.cwnd
+        cc.on_packets_lost([sp(200, ms(2000))], ms(2005), cc.cwnd, 1)
+        rtt = rtt_of(ms(40))
+        cc.on_packets_acked([sp(201, ms(2010))], ms(2050), rtt, cc.cwnd, 1)
+        cc.on_spurious_loss([200], ms(2060), 1)
+        assert cc.cwnd < before
+        assert cc.rollbacks == 0

@@ -1,0 +1,35 @@
+"""CC factory wiring."""
+
+import pytest
+
+from repro.cc import Bbr, Cubic, NewReno, make_cc
+from repro.cc.bbr import NGTCP2_BBR_PARAMS
+from repro.errors import ConfigError
+
+
+def test_builds_each_kind():
+    assert isinstance(make_cc("cubic"), Cubic)
+    assert isinstance(make_cc("newreno"), NewReno)
+    assert isinstance(make_cc("bbr"), Bbr)
+
+
+def test_unknown_rejected():
+    with pytest.raises(ConfigError):
+        make_cc("vegas")
+
+
+def test_cubic_quirks_forwarded():
+    cc = make_cc("cubic", spurious_rollback=True, rollback_loss_threshold=9, hystart=False)
+    assert cc.params.spurious_rollback
+    assert cc.params.rollback_loss_threshold == 9
+    assert not cc.hystart.enabled
+
+
+def test_bbr_params_forwarded():
+    cc = make_cc("bbr", bbr_params=NGTCP2_BBR_PARAMS)
+    assert cc.params is NGTCP2_BBR_PARAMS
+
+
+def test_mtu_and_initial_window():
+    cc = make_cc("cubic", mtu=1000, initial_window_packets=20)
+    assert cc.cwnd == 20_000

@@ -1,0 +1,120 @@
+"""HyStart++ state machine (RFC 9406) and the classic ACK-train extension."""
+
+from repro.cc.hystart import (
+    CSS_ROUNDS,
+    HyStartPP,
+    MIN_RTT_THRESH,
+    N_RTT_SAMPLE,
+)
+from repro.units import ms
+
+
+def feed_round(h, rtt_ns, samples=N_RTT_SAMPLE):
+    h.on_round_start()
+    for _ in range(samples):
+        h.on_rtt_sample(rtt_ns)
+
+
+def test_stable_rtt_never_triggers():
+    h = HyStartPP()
+    for _ in range(20):
+        feed_round(h, ms(40))
+    assert not h.in_css
+    assert not h.done
+
+
+def test_rtt_jump_enters_css():
+    h = HyStartPP()
+    feed_round(h, ms(40))
+    feed_round(h, ms(40))
+    feed_round(h, ms(40) + MIN_RTT_THRESH + ms(2))
+    assert h.in_css
+    assert not h.done
+
+
+def test_css_exits_slow_start_after_rounds():
+    h = HyStartPP()
+    feed_round(h, ms(40))
+    feed_round(h, ms(40))
+    for i in range(CSS_ROUNDS + 2):
+        feed_round(h, ms(60))
+        if h.done:
+            break
+    assert h.done
+
+
+def test_css_falls_back_if_rtt_recovers():
+    h = HyStartPP()
+    feed_round(h, ms(40))
+    feed_round(h, ms(40))
+    feed_round(h, ms(50))  # triggers CSS (baseline 40ms)
+    assert h.in_css
+    feed_round(h, ms(40))  # transient spike gone
+    assert not h.in_css
+    assert not h.done
+
+
+def test_needs_enough_samples():
+    h = HyStartPP()
+    feed_round(h, ms(40))
+    h.on_round_start()
+    for _ in range(N_RTT_SAMPLE - 1):
+        h.on_rtt_sample(ms(100))
+    assert not h.in_css  # one sample short
+
+
+def test_growth_normal_vs_css():
+    h = HyStartPP()
+    assert h.growth(1000) == 1000
+    h.in_css = True
+    assert h.growth(1000) == 250
+
+
+def test_disabled_does_nothing():
+    h = HyStartPP(enabled=False)
+    for _ in range(10):
+        feed_round(h, ms(400))
+    assert not h.in_css and not h.done
+
+
+def test_eta_clamping_low():
+    # With a tiny base RTT, eta clamps to MIN_RTT_THRESH (4 ms): a 3 ms rise
+    # must not trigger, but a 5 ms rise must.
+    h = HyStartPP()
+    feed_round(h, ms(2))
+    feed_round(h, ms(2))
+    feed_round(h, ms(2) + ms(3))
+    assert not h.in_css
+
+    h2 = HyStartPP()
+    feed_round(h2, ms(2))
+    feed_round(h2, ms(2))
+    feed_round(h2, ms(2) + ms(5))
+    assert h2.in_css
+
+
+def test_ack_train_detection():
+    h = HyStartPP(ack_train=True, ack_train_fraction=0.5)
+    h.on_round_start()
+    h.on_ack_arrival(0, ms(40))
+    h.on_ack_arrival(ms(10), ms(40))
+    assert not h.done
+    h.on_ack_arrival(ms(21), ms(40))  # spans >= minRTT/2
+    assert h.done
+
+
+def test_ack_train_resets_each_round():
+    h = HyStartPP(ack_train=True, ack_train_fraction=0.5)
+    h.on_round_start()
+    h.on_ack_arrival(0, ms(40))
+    h.on_round_start()
+    h.on_ack_arrival(ms(100), ms(40))
+    assert not h.done
+
+
+def test_ack_train_disabled_by_default():
+    h = HyStartPP()
+    h.on_round_start()
+    h.on_ack_arrival(0, ms(40))
+    h.on_ack_arrival(ms(1000), ms(40))
+    assert not h.done

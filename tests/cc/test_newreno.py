@@ -1,0 +1,120 @@
+"""NewReno window dynamics (RFC 9002 Appendix B)."""
+
+from repro.cc.newreno import NewReno
+from tests.cc.helpers import MTU, drive_acks, rtt_of, sp
+from repro.units import ms
+
+
+def make():
+    return NewReno(hystart=False, mtu=MTU)
+
+
+def test_initial_window():
+    cc = make()
+    assert cc.cwnd == 10 * MTU
+    assert cc.in_slow_start
+
+
+def test_slow_start_grows_by_acked_bytes():
+    cc = make()
+    before = cc.cwnd
+    rtt = rtt_of(ms(40))
+    p = sp(0, 0)
+    cc.on_packet_sent(p, cc.cwnd, 0)
+    cc.on_packets_acked([p], ms(40), rtt, cc.cwnd, 0)
+    assert cc.cwnd == before + MTU
+
+
+def test_congestion_event_halves_window():
+    cc = make()
+    drive_acks(cc, 50)
+    before = cc.cwnd
+    cc.on_packets_lost([sp(100, ms(1000))], ms(1010), cc.cwnd, 1)
+    assert cc.cwnd == before // 2
+    assert cc.ssthresh == cc.cwnd
+    assert cc.congestion_events == 1
+
+
+def test_one_reduction_per_recovery_epoch():
+    cc = make()
+    drive_acks(cc, 50)
+    cc.on_packets_lost([sp(100, ms(1000))], ms(1010), cc.cwnd, 1)
+    after_first = cc.cwnd
+    # A loss of a packet sent *before* recovery began is the same event.
+    cc.on_packets_lost([sp(99, ms(999))], ms(1011), cc.cwnd, 2)
+    assert cc.cwnd == after_first
+    assert cc.congestion_events == 1
+
+
+def test_new_epoch_allows_new_reduction():
+    cc = make()
+    drive_acks(cc, 50)
+    cc.on_packets_lost([sp(100, ms(1000))], ms(1010), cc.cwnd, 1)
+    first = cc.cwnd
+    cc.on_packets_lost([sp(150, ms(2000))], ms(2010), cc.cwnd, 2)
+    assert cc.cwnd == first // 2
+    assert cc.congestion_events == 2
+
+
+def test_window_floor():
+    cc = make()
+    for i in range(20):
+        cc.on_packets_lost([sp(i, ms(100 * i))], ms(100 * i + 1), cc.cwnd, i)
+    assert cc.cwnd == cc.min_cwnd
+
+
+def test_congestion_avoidance_linear():
+    cc = make()
+    cc.ssthresh = cc.cwnd  # leave slow start
+    rtt = rtt_of(ms(40))
+    start = cc.cwnd
+    # One cwnd worth of acks should add about one MTU.
+    n = cc.cwnd // MTU
+    now = ms(40)
+    for i in range(n):
+        p = sp(i, now - ms(40))
+        cc.on_packet_sent(p, cc.cwnd, now - ms(40))
+        cc.on_packets_acked([p], now, rtt, cc.cwnd, 0)
+        now += 1000
+    growth = cc.cwnd - start
+    assert MTU // 2 <= growth <= 2 * MTU
+
+
+def test_no_growth_while_in_recovery():
+    cc = make()
+    drive_acks(cc, 20)
+    cc.on_packets_lost([sp(50, ms(500))], ms(505), cc.cwnd, 1)
+    after = cc.cwnd
+    rtt = rtt_of(ms(40))
+    # Ack for a packet sent before the congestion event: no growth.
+    p = sp(51, ms(500))
+    cc.on_packets_acked([p], ms(510), rtt, cc.cwnd, 1)
+    assert cc.cwnd == after
+
+
+def test_no_growth_when_window_underutilized():
+    cc = make()
+    rtt = rtt_of(ms(40))
+    before = cc.cwnd
+    p = sp(0, 0)
+    cc.on_packet_sent(p, 0, 0)
+    # bytes_in_flight + acked far below cwnd.
+    cc.on_packets_acked([p], ms(40), rtt, 0, 0)
+    assert cc.cwnd == before
+
+
+def test_pacing_rate_positive_and_scales_with_cwnd():
+    cc = make()
+    rtt = rtt_of(ms(40))
+    r1 = cc.pacing_rate_bps(rtt)
+    cc.cwnd *= 4
+    assert cc.pacing_rate_bps(rtt) == 4 * r1
+
+
+def test_trace_records_cwnd():
+    cc = make()
+    cc.enable_trace()
+    drive_acks(cc, 5)
+    assert len(cc.cwnd_trace) >= 2
+    times = [t for t, _ in cc.cwnd_trace]
+    assert times == sorted(times)

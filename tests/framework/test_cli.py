@@ -1,0 +1,55 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_rejects_unknown_stack():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "msquic"])
+
+
+def test_run_command(capsys, tmp_path):
+    out_json = tmp_path / "r.json"
+    rc = main(
+        ["run", "quiche", "--size-mib", "0.25", "--seed", "3", "--json", str(out_json)]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "quiche/cubic" in out
+    assert "goodput" in out
+    assert "back-to-back share" in out
+    data = json.loads(out_json.read_text())
+    assert data["label"] == "quiche/cubic"
+
+
+def test_run_with_sf_flag(capsys):
+    rc = main(["run", "quiche", "--size-mib", "0.25", "--sf"])
+    assert rc == 0
+    assert "quiche/cubic/sf" in capsys.readouterr().out
+
+
+def test_compete_command(capsys):
+    rc = main(["compete", "quiche:cubic:fq", "tcp", "--size-mib", "0.25", "--seed", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Jain fairness" in out
+    assert "quiche/cubic/fq" in out
+    assert "tcp/cubic" in out
+
+
+def test_compete_parses_flow_spec_shorthand(capsys):
+    rc = main(["compete", "picoquic:bbr", "--size-mib", "0.25"])
+    assert rc == 0
+    assert "picoquic/bbr" in capsys.readouterr().out
+
+
+def test_scenarios_command(capsys):
+    rc = main(["scenarios"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out
+    assert "section 4.4" in out

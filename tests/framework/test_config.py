@@ -1,0 +1,71 @@
+"""Experiment configuration validation and derived values."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.framework.config import ExperimentConfig, NetworkConfig
+from repro.units import kib, mbit, mib, ms
+
+
+class TestNetworkConfig:
+    def test_paper_defaults(self):
+        net = NetworkConfig()
+        assert net.bottleneck_rate_bps == mbit(40)
+        assert net.min_rtt_ns == ms(40)
+        # BDP = 40 Mbit/s * 40 ms = 200 kB; buffer = 2 BDP.
+        assert net.bdp_bytes == 200_000
+        assert net.buffer_bytes == 400_000
+
+
+class TestExperimentConfig:
+    def test_defaults_valid(self):
+        ExperimentConfig().validate()
+
+    @pytest.mark.parametrize("field,value", [
+        ("stack", "msquic"),
+        ("qdisc", "htb"),
+        ("gso", "sometimes"),
+        ("file_size", 0),
+        ("repetitions", 0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(**{field: value}).validate()
+
+    def test_tcp_with_gso_rejected(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(stack="tcp", gso="on").validate()
+
+    def test_label_encodes_variant(self):
+        cfg = ExperimentConfig(stack="quiche", qdisc="fq", gso="paced", spurious_rollback=False)
+        assert cfg.label == "quiche/cubic/fq/gso-paced/sf"
+        assert ExperimentConfig(stack="tcp").label == "tcp/cubic"
+
+    def test_scaled_returns_new_config(self):
+        cfg = ExperimentConfig(file_size=mib(8), repetitions=5)
+        scaled = cfg.scaled(kib(100), repetitions=2)
+        assert scaled.file_size == kib(100)
+        assert scaled.repetitions == 2
+        assert cfg.file_size == mib(8)  # original untouched
+
+
+def test_scenarios_cover_paper_experiments():
+    from repro.framework import scenarios
+
+    base = scenarios.all_baselines()
+    assert set(base) == {"quiche", "picoquic", "ngtcp2", "tcp"}
+    for cfg in base.values():
+        cfg.validate()
+        assert cfg.cca == "cubic"
+
+    fq = scenarios.quiche_fq(spurious_rollback=True)
+    assert fq.qdisc == "fq" and fq.spurious_rollback
+
+    gso = scenarios.quiche_gso("paced")
+    assert gso.gso == "paced" and gso.spurious_rollback is False
+
+    sweep = scenarios.cca_sweep("picoquic")
+    assert set(sweep) == {"cubic", "newreno", "bbr"}
+
+    for qdisc in ("none", "fq", "etf", "etf-offload"):
+        scenarios.precision_config(qdisc).validate()

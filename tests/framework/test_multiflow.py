@@ -1,0 +1,83 @@
+"""Competing-flow experiments over a shared bottleneck."""
+
+import pytest
+
+from repro.framework.multiflow import FlowSpec, MultiFlowExperiment
+from repro.units import kib, mib, ms
+
+SMALL = kib(400)
+
+
+def run(flows, **kwargs):
+    kwargs.setdefault("seed", 6)
+    return MultiFlowExperiment(flows, **kwargs).run()
+
+
+def test_requires_at_least_one_flow():
+    with pytest.raises(ValueError):
+        MultiFlowExperiment([])
+
+
+def test_single_flow_behaves_like_single_experiment():
+    result = run([FlowSpec(file_size=SMALL)])
+    assert result.all_completed
+    flow = result.flows[0]
+    assert 1 < flow.goodput_mbps < 40
+    assert len(flow.records) > SMALL // 1252
+
+
+def test_two_identical_flows_share_fairly():
+    result = run([FlowSpec(file_size=mib(2)), FlowSpec(file_size=mib(2))])
+    assert result.all_completed
+    assert result.fairness > 0.85
+    assert result.aggregate_goodput_mbps < 42
+
+
+def test_flows_are_isolated_in_capture_and_drops():
+    result = run([FlowSpec(file_size=SMALL), FlowSpec(file_size=SMALL)])
+    ports = {r.flow[1] for f in result.flows for r in f.records}
+    assert len(ports) == 2
+    for flow in result.flows:
+        flow_ports = {r.flow[1] for r in flow.records}
+        assert len(flow_ports) == 1
+    assert sum(f.dropped for f in result.flows) == result.total_dropped
+
+
+def test_staggered_start():
+    result = run(
+        [
+            FlowSpec(file_size=SMALL),
+            FlowSpec(file_size=SMALL, start_ns=ms(300)),
+        ]
+    )
+    assert result.all_completed
+    first = min(r.time_ns for r in result.flows[0].records)
+    second = min(r.time_ns for r in result.flows[1].records)
+    assert second >= first + ms(250)
+
+
+def test_mixed_stack_contest_completes():
+    result = run(
+        [
+            FlowSpec(stack="quiche", qdisc="fq", spurious_rollback=False, file_size=SMALL),
+            FlowSpec(stack="picoquic", cca="bbr", file_size=SMALL),
+            FlowSpec(stack="tcp", file_size=SMALL),
+        ]
+    )
+    assert result.all_completed
+    labels = [f.spec.label for f in result.flows]
+    assert labels == ["quiche/cubic/fq", "picoquic/bbr", "tcp/cubic"]
+
+
+def test_deterministic_for_seed():
+    flows = [FlowSpec(file_size=SMALL), FlowSpec(stack="tcp", file_size=SMALL)]
+    r1 = run(flows, seed=9)
+    r2 = run(flows, seed=9)
+    assert [f.goodput_mbps for f in r1.flows] == [f.goodput_mbps for f in r2.flows]
+    assert r1.total_dropped == r2.total_dropped
+
+
+def test_contention_reduces_per_flow_goodput():
+    solo = run([FlowSpec(file_size=mib(2))])
+    duo = run([FlowSpec(file_size=mib(2)), FlowSpec(file_size=mib(2))])
+    assert duo.flows[0].goodput_mbps < solo.flows[0].goodput_mbps

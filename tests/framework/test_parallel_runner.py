@@ -1,0 +1,32 @@
+"""Parallel repetition runner: identical results, ordered output."""
+
+from repro.framework.config import ExperimentConfig
+from repro.framework.runner import run_repetitions
+from repro.units import kib
+
+CFG = ExperimentConfig(stack="quiche", file_size=kib(200), repetitions=3)
+
+
+def test_parallel_matches_serial():
+    serial = run_repetitions(CFG)
+    parallel = run_repetitions(CFG, workers=3)
+    assert [r.seed for r in parallel.results] == [r.seed for r in serial.results]
+    assert [r.goodput_mbps for r in parallel.results] == [
+        r.goodput_mbps for r in serial.results
+    ]
+    assert [r.dropped for r in parallel.results] == [r.dropped for r in serial.results]
+    assert parallel.goodput.mean == serial.goodput.mean
+
+
+def test_single_repetition_ignores_workers():
+    cfg = ExperimentConfig(stack="quiche", file_size=kib(150), repetitions=1)
+    summary = run_repetitions(cfg, workers=4)
+    assert len(summary.results) == 1
+
+
+def test_results_are_complete_objects():
+    parallel = run_repetitions(CFG, workers=2)
+    for r in parallel.results:
+        assert r.completed
+        assert r.server_records  # capture survived pickling
+        assert r.server_stats["packets_sent"] > 0

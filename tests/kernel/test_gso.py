@@ -1,0 +1,71 @@
+"""GSO segmenter: splitting, stock bursts, paced spreading, no reordering."""
+
+from repro.kernel.gso import GsoBuffer, GsoSegmenter, SEGMENT_SPLIT_NS
+from repro.net.packet import Datagram
+from repro.units import SEC, us
+from tests.conftest import make_dgram
+
+
+def _buffer_dgram(segments, rate=None):
+    buf = GsoBuffer(segments=segments, pacing_rate_Bps=rate)
+    return Datagram(
+        flow=segments[0].flow, payload_size=buf.total_payload, payload=buf, gso_id=1
+    )
+
+
+def test_plain_datagram_passes_through(sim, collector):
+    seg = GsoSegmenter(sim, sink=collector)
+    seg.receive(make_dgram(100, pn=1))
+    sim.run()
+    assert len(collector) == 1
+    assert seg.buffers_split == 0
+
+
+def test_stock_gso_emits_back_to_back(sim, collector):
+    seg = GsoSegmenter(sim, sink=collector)
+    segs = [make_dgram(1252, pn=i) for i in range(5)]
+    seg.receive(_buffer_dgram(segs))
+    sim.run()
+    assert len(collector) == 5
+    gaps = [collector.times[i] - collector.times[i - 1] for i in range(1, 5)]
+    assert all(g == SEGMENT_SPLIT_NS for g in gaps)
+    assert seg.buffers_split == 1
+    assert seg.paced_buffers == 0
+
+
+def test_paced_gso_spreads_at_rate(sim, collector):
+    seg = GsoSegmenter(sim, sink=collector)
+    rate_Bps = 5_000_000  # 40 Mbit/s
+    segs = [make_dgram(1252, pn=i) for i in range(4)]
+    seg.receive(_buffer_dgram(segs, rate=rate_Bps))
+    sim.run()
+    expected_gap = 1252 * SEC // rate_Bps
+    gaps = [collector.times[i] - collector.times[i - 1] for i in range(1, 4)]
+    assert all(g == expected_gap for g in gaps)
+    assert seg.paced_buffers == 1
+
+
+def test_consecutive_paced_buffers_do_not_interleave(sim, collector):
+    seg = GsoSegmenter(sim, sink=collector)
+    slow = [make_dgram(1252, pn=i) for i in range(3)]
+    fast = [make_dgram(1252, pn=10 + i) for i in range(3)]
+    seg.receive(_buffer_dgram(slow, rate=1_000_000))  # slow spread
+    seg.receive(_buffer_dgram(fast, rate=100_000_000))  # would overtake
+    sim.run()
+    pns = [d.packet_number for d in collector.dgrams]
+    assert pns == [0, 1, 2, 10, 11, 12]
+
+
+def test_plain_datagram_does_not_overtake_spreading_buffer(sim, collector):
+    seg = GsoSegmenter(sim, sink=collector)
+    seg.receive(_buffer_dgram([make_dgram(1252, pn=i) for i in range(3)], rate=1_000_000))
+    seg.receive(make_dgram(100, pn=99))
+    sim.run()
+    pns = [d.packet_number for d in collector.dgrams]
+    assert pns == [0, 1, 2, 99]
+
+
+def test_buffer_total_payload(sim):
+    buf = GsoBuffer(segments=[make_dgram(100), make_dgram(200)])
+    assert buf.total_payload == 300
+    assert len(buf) == 2

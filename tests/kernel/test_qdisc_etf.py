@@ -1,0 +1,103 @@
+"""ETF qdisc: delta-advanced watchdog, drop-if-late, txtime ordering."""
+
+import random
+
+from repro.kernel.qdisc.etf import EtfQdisc
+from repro.sim.clock import JitterModel
+from repro.units import us
+from tests.conftest import make_dgram
+
+NO_JITTER = JitterModel(median_ns=0, sigma=0.0)
+
+
+def _etf(sim, collector, delta=us(200), jitter=NO_JITTER, **kwargs):
+    kwargs.setdefault("watchdog_latency_max_ns", 0)
+    return EtfQdisc(
+        sim,
+        sink=collector,
+        delta_ns=delta,
+        processing_jitter=jitter,
+        rng=random.Random(1),
+        **kwargs,
+    )
+
+
+def test_packet_released_near_its_timestamp(sim, collector):
+    etf = _etf(sim, collector)
+    etf.enqueue(make_dgram(100, txtime=us(1000)))
+    sim.run()
+    # Watchdog fires at txtime - delta; zero jitter -> release then.
+    assert collector.times == [us(800)]
+
+
+def test_untimed_packet_dropped(sim, collector):
+    etf = _etf(sim, collector)
+    etf.enqueue(make_dgram(100))
+    sim.run()
+    assert etf.stats.dropped == 1
+    assert len(collector) == 0
+
+
+def test_past_timestamp_dropped_late(sim, collector):
+    etf = _etf(sim, collector)
+    sim.schedule(us(500), etf.enqueue, make_dgram(100, txtime=us(100)))
+    sim.run()
+    assert etf.stats.dropped_late == 1
+    assert len(collector) == 0
+
+
+def test_releases_sorted_by_txtime_not_arrival(sim, collector):
+    etf = _etf(sim, collector, delta=0)
+    etf.enqueue(make_dgram(100, txtime=us(2000), pn=0))
+    etf.enqueue(make_dgram(100, txtime=us(1000), pn=1))
+    sim.run()
+    assert [d.packet_number for d in collector.dgrams] == [1, 0]
+
+
+def test_processing_jitter_never_reorders(sim, collector):
+    etf = _etf(
+        sim,
+        collector,
+        delta=us(200),
+        jitter=JitterModel(median_ns=us(150), sigma=1.0),
+    )
+    for i in range(30):
+        etf.enqueue(make_dgram(100, txtime=us(1000) + i * us(250), pn=i))
+    sim.run()
+    assert [d.packet_number for d in collector.dgrams] == list(range(30))
+    times = collector.times
+    assert times == sorted(times)
+
+
+def test_limit_drops(sim, collector):
+    etf = _etf(sim, collector, limit_packets=2)
+    for i in range(4):
+        etf.enqueue(make_dgram(100, txtime=us(10_000) + i))
+    assert etf.stats.dropped == 2
+
+
+def test_rearm_for_earlier_insertion(sim, collector):
+    etf = _etf(sim, collector, delta=0)
+    etf.enqueue(make_dgram(100, txtime=us(5000), pn=0))
+    etf.enqueue(make_dgram(100, txtime=us(1000), pn=1))
+    sim.run()
+    assert collector.times[0] == us(1000)
+
+
+def test_small_delta_with_watchdog_latency_drops_late(sim, collector):
+    etf = _etf(sim, collector, delta=us(10), watchdog_latency_max_ns=us(120))
+    for i in range(200):
+        etf.enqueue(make_dgram(100, txtime=us(1000) + i * us(250), pn=i))
+    sim.run()
+    # With the watchdog landing up to 120 us late and only 10 us of delta,
+    # a substantial share of packets misses its deadline.
+    assert etf.stats.dropped_late > 20
+
+
+def test_conservative_delta_absorbs_watchdog_latency(sim, collector):
+    etf = _etf(sim, collector, delta=us(200), watchdog_latency_max_ns=us(120))
+    for i in range(200):
+        etf.enqueue(make_dgram(100, txtime=us(1000) + i * us(250), pn=i))
+    sim.run()
+    assert etf.stats.dropped_late == 0
+    assert len(collector) == 200

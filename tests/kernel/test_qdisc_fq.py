@@ -1,0 +1,121 @@
+"""FQ qdisc: timestamp scheduling, past timestamps never dropped, flow FIFO."""
+
+import random
+
+import pytest
+
+from repro.kernel.qdisc.fq import FqQdisc
+from repro.sim.clock import JitterModel
+from repro.units import us
+from tests.conftest import make_dgram
+
+NO_JITTER = JitterModel(median_ns=0, sigma=0.0)
+
+
+def _fq(sim, collector, **kwargs):
+    kwargs.setdefault("release_jitter", NO_JITTER)
+    return FqQdisc(sim, sink=collector, rng=random.Random(1), **kwargs)
+
+
+def test_untimed_packet_released_immediately(sim, collector):
+    fq = _fq(sim, collector)
+    fq.enqueue(make_dgram(100))
+    sim.run()
+    assert collector.times == [0]
+
+
+def test_future_timestamp_is_honored(sim, collector):
+    fq = _fq(sim, collector)
+    fq.enqueue(make_dgram(100, txtime=us(500)))
+    sim.run()
+    assert collector.times == [us(500)]
+    assert fq.throttled_events == 1
+
+
+def test_past_timestamp_sent_immediately_not_dropped(sim, collector):
+    fq = _fq(sim, collector)
+    sim.schedule(us(100), fq.enqueue, make_dgram(100, txtime=us(10)))
+    sim.run()
+    assert len(collector) == 1
+    assert fq.stats.dropped == 0
+
+
+def test_batch_with_spread_timestamps_is_paced(sim, collector):
+    fq = _fq(sim, collector)
+    for i in range(5):
+        fq.enqueue(make_dgram(100, txtime=us(100) * i, pn=i))
+    sim.run()
+    assert collector.times == [0, us(100), us(200), us(300), us(400)]
+    assert [d.packet_number for d in collector.dgrams] == list(range(5))
+
+
+def test_flow_fifo_even_with_inverted_timestamps(sim, collector):
+    fq = _fq(sim, collector)
+    fq.enqueue(make_dgram(100, txtime=us(500), pn=0))
+    fq.enqueue(make_dgram(100, txtime=us(100), pn=1))  # same flow, later packet
+    sim.run()
+    assert [d.packet_number for d in collector.dgrams] == [0, 1]
+    assert collector.times[0] == us(500)
+
+
+def test_separate_flows_scheduled_independently(sim, collector):
+    fq = _fq(sim, collector)
+    fq.enqueue(make_dgram(100, txtime=us(500), pn=0, flow=("a", 1, "b", 2)))
+    fq.enqueue(make_dgram(100, txtime=us(100), pn=1, flow=("c", 3, "d", 4)))
+    sim.run()
+    assert [d.packet_number for d in collector.dgrams] == [1, 0]
+
+
+def test_horizon_drop(sim, collector):
+    fq = _fq(sim, collector, horizon_ns=us(1000), horizon_drop=True)
+    fq.enqueue(make_dgram(100, txtime=us(2000)))
+    sim.run()
+    assert fq.stats.dropped == 1
+    assert len(collector) == 0
+
+
+def test_queue_limit_drops(sim, collector):
+    fq = _fq(sim, collector, limit_packets=3)
+    for i in range(5):
+        fq.enqueue(make_dgram(100, txtime=us(10_000)))
+    assert fq.stats.dropped == 2
+    assert fq.backlog_packets == 3
+
+
+def test_flow_limit_drops(sim, collector):
+    fq = _fq(sim, collector, flow_limit_packets=2)
+    for _ in range(4):
+        fq.enqueue(make_dgram(100, txtime=us(10_000)))
+    assert fq.stats.dropped == 2
+
+
+def test_release_jitter_delays_timed_releases(sim, collector):
+    fq = FqQdisc(
+        sim,
+        sink=collector,
+        release_jitter=JitterModel(median_ns=us(50), sigma=0.0),
+        rng=random.Random(1),
+    )
+    fq.enqueue(make_dgram(100, txtime=us(100)))
+    sim.run()
+    assert collector.times == [us(150)]
+
+
+def test_ready_packets_flushed_in_one_pass(sim, collector):
+    fq = _fq(sim, collector)
+    # Head is timed; the two behind it have due timestamps by release time.
+    fq.enqueue(make_dgram(100, txtime=us(100), pn=0))
+    fq.enqueue(make_dgram(100, txtime=us(100), pn=1))
+    fq.enqueue(make_dgram(100, pn=2))
+    sim.run()
+    assert collector.times == [us(100)] * 3
+
+
+def test_stats_accounting(sim, collector):
+    fq = _fq(sim, collector)
+    for i in range(3):
+        fq.enqueue(make_dgram(100))
+    sim.run()
+    assert fq.stats.enqueued == 3
+    assert fq.stats.dequeued == 3
+    assert fq.stats.bytes_sent == 3 * make_dgram(100).wire_size

@@ -1,0 +1,153 @@
+"""pfifo_fast, TBF, netem, FQ_CoDel, and the qdisc factory."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernel.qdisc import (
+    EtfQdisc,
+    FqCodel,
+    FqQdisc,
+    NetemQdisc,
+    PfifoFast,
+    TbfQdisc,
+    make_qdisc,
+)
+from repro.units import mbit, ms, tx_time_ns, us
+from tests.conftest import make_dgram
+
+
+class TestPfifoFast:
+    def test_pass_through_preserves_order(self, sim, collector):
+        q = PfifoFast(sim, sink=collector)
+        for i in range(5):
+            q.enqueue(make_dgram(100, pn=i))
+        sim.run()
+        assert [d.packet_number for d in collector.dgrams] == list(range(5))
+        assert collector.times == [0] * 5
+
+    def test_ignores_txtime(self, sim, collector):
+        q = PfifoFast(sim, sink=collector)
+        q.enqueue(make_dgram(100, txtime=us(10_000)))
+        sim.run()
+        assert collector.times == [0]
+        assert not q.honors_txtime
+
+    def test_limit_drops(self, sim, collector):
+        q = PfifoFast(sim, sink=collector, limit_packets=0)
+        q.enqueue(make_dgram(100))
+        assert q.stats.dropped == 1
+
+
+class TestTbf:
+    def test_shapes_to_rate(self, sim, collector):
+        q = TbfQdisc(sim, sink=collector, rate_bps=mbit(40), burst_bytes=2000, limit_bytes=10**7)
+        for _ in range(50):
+            q.enqueue(make_dgram(1252))
+        sim.run()
+        duration = collector.times[-1] - collector.times[0]
+        rate = 48 * make_dgram(1252).wire_size * 8 * 1e9 / duration
+        assert mbit(35) < rate < mbit(45)
+
+    def test_limit_drops(self, sim, collector):
+        wire = make_dgram(1252).wire_size
+        q = TbfQdisc(sim, sink=collector, limit_bytes=2 * wire, burst_bytes=1500)
+        for _ in range(10):
+            q.enqueue(make_dgram(1252))
+        # One passes straight through on the initial bucket; two queue; the
+        # rest overflow the byte limit.
+        assert q.stats.dropped >= 7
+        sim.run()
+        assert q.stats.dequeued + q.stats.dropped == 10
+
+    def test_backlog_reported(self, sim, collector):
+        q = TbfQdisc(sim, sink=collector, rate_bps=mbit(1), burst_bytes=1500, limit_bytes=10**6)
+        q.enqueue(make_dgram(1252))
+        q.enqueue(make_dgram(1252))
+        assert q.backlog_bytes > 0
+        sim.run()
+        assert q.backlog_bytes == 0
+
+    def test_oversize_packet_dropped(self, sim, collector):
+        q = TbfQdisc(sim, sink=collector, burst_bytes=500)
+        q.enqueue(make_dgram(1252))
+        assert q.stats.dropped == 1
+
+
+class TestNetem:
+    def test_fixed_delay(self, sim, collector):
+        q = NetemQdisc(sim, sink=collector, delay_ns=ms(20))
+        q.enqueue(make_dgram(100))
+        sim.run()
+        assert collector.times == [ms(20)]
+
+    def test_jitter_preserves_order(self, sim, collector):
+        q = NetemQdisc(
+            sim, sink=collector, delay_ns=ms(5), jitter_ns=ms(4), rng=random.Random(3)
+        )
+        for i in range(50):
+            sim.schedule(i * us(10), q.enqueue, make_dgram(100, pn=i))
+        sim.run()
+        assert [d.packet_number for d in collector.dgrams] == list(range(50))
+
+    def test_random_loss(self, sim, collector):
+        q = NetemQdisc(sim, sink=collector, loss_rate=0.5, rng=random.Random(1))
+        for _ in range(200):
+            q.enqueue(make_dgram(100))
+        sim.run()
+        assert 60 < q.stats.dropped < 140
+        assert len(collector) == 200 - q.stats.dropped
+
+
+class TestFqCodel:
+    def test_pass_through_without_drain_rate(self, sim, collector):
+        q = FqCodel(sim, sink=collector)
+        for i in range(5):
+            q.enqueue(make_dgram(100, pn=i))
+        sim.run()
+        assert len(collector) == 5
+
+    def test_ignores_txtime(self, sim, collector):
+        q = FqCodel(sim, sink=collector)
+        q.enqueue(make_dgram(100, txtime=us(10_000)))
+        sim.run()
+        assert collector.times[0] < us(10_000)
+
+    def test_codel_drops_under_sustained_overload(self, sim, collector):
+        q = FqCodel(sim, sink=collector, drain_rate_bps=mbit(10), target_ns=ms(5), interval_ns=ms(100))
+        # Offer 4x the drain rate for a while: sojourn exceeds target.
+        gap = tx_time_ns(make_dgram(1252).serialized_size, mbit(40))
+        for i in range(800):
+            sim.schedule(i * gap, q.enqueue, make_dgram(1252))
+        sim.run()
+        assert q.stats.dropped > 0
+        assert q.stats.dequeued + q.stats.dropped <= 800
+
+    def test_no_codel_drops_when_underloaded(self, sim, collector):
+        q = FqCodel(sim, sink=collector, drain_rate_bps=mbit(100))
+        gap = tx_time_ns(make_dgram(1252).serialized_size, mbit(40))
+        for i in range(100):
+            sim.schedule(i * gap, q.enqueue, make_dgram(1252))
+        sim.run()
+        assert q.stats.dropped == 0
+
+
+class TestFactory:
+    def test_known_names(self, sim, collector):
+        assert isinstance(make_qdisc("none", sim, collector), PfifoFast)
+        assert isinstance(make_qdisc("pfifo_fast", sim, collector), PfifoFast)
+        assert isinstance(make_qdisc("fq", sim, collector), FqQdisc)
+        assert isinstance(make_qdisc("fq_codel", sim, collector), FqCodel)
+        assert isinstance(make_qdisc("etf", sim, collector), EtfQdisc)
+        assert isinstance(make_qdisc("etf-offload", sim, collector), EtfQdisc)
+        assert isinstance(make_qdisc("tbf", sim, collector), TbfQdisc)
+        assert isinstance(make_qdisc("netem", sim, collector), NetemQdisc)
+
+    def test_unknown_name_raises(self, sim, collector):
+        with pytest.raises(ConfigError):
+            make_qdisc("htb", sim, collector)
+
+    def test_params_forwarded(self, sim, collector):
+        etf = make_qdisc("etf", sim, collector, delta_ns=us(500))
+        assert etf.delta_ns == us(500)

@@ -1,0 +1,27 @@
+"""Syscall cost model: batching amortization."""
+
+from repro.kernel.syscall import SyscallModel
+
+
+def test_sendmsg_cost_components():
+    m = SyscallModel(syscall_ns=1000, per_datagram_ns=500, per_byte_ns=1.0)
+    assert m.sendmsg_cost(100) == 1000 + 500 + 100
+
+
+def test_sendmmsg_amortizes_syscall():
+    m = SyscallModel(syscall_ns=1000, per_datagram_ns=500, per_byte_ns=0.0)
+    individual = 4 * m.sendmsg_cost(100)
+    batched = m.sendmmsg_cost([100] * 4)
+    assert batched == 1000 + 4 * 500
+    assert batched < individual
+
+
+def test_gso_cheaper_than_sendmmsg_for_same_bytes():
+    m = SyscallModel()
+    sizes = [1252] * 10
+    assert m.gso_cost(sum(sizes)) < m.sendmmsg_cost(sizes)
+
+
+def test_costs_scale_with_bytes():
+    m = SyscallModel()
+    assert m.sendmsg_cost(10_000) > m.sendmsg_cost(100)

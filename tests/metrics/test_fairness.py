@@ -1,0 +1,39 @@
+"""Jain fairness index."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.fairness import jain_index
+
+
+def test_equal_allocation_is_one():
+    assert jain_index([10, 10, 10]) == pytest.approx(1.0)
+
+
+def test_single_hog_is_one_over_n():
+    assert jain_index([40, 0, 0, 0]) == pytest.approx(0.25)
+
+
+def test_two_to_one_split():
+    assert jain_index([20, 10]) == pytest.approx(0.9)
+
+
+def test_all_zero_is_fair():
+    assert jain_index([0, 0]) == 1.0
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        jain_index([])
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=20))
+def test_bounds(values):
+    idx = jain_index(values)
+    assert 1 / len(values) - 1e-9 <= idx <= 1 + 1e-9
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=20),
+       st.floats(min_value=0.1, max_value=100))
+def test_scale_invariance(values, factor):
+    assert jain_index(values) == pytest.approx(jain_index([v * factor for v in values]))

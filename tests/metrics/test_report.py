@@ -1,0 +1,46 @@
+"""ASCII rendering helpers."""
+
+from repro.metrics.report import render_cdf, render_histogram, render_table
+
+
+def test_render_table_alignment():
+    out = render_table(
+        ["Implementation", "Goodput"],
+        [["quiche", "34.67"], ["picoquic", "37.09"]],
+        title="Table 1",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "Table 1"
+    assert "Implementation" in lines[1]
+    assert set(lines[2]) <= {"-", "+"}
+    assert "quiche" in lines[3]
+    # Columns align: all rows have the separator at the same offset.
+    sep_positions = {line.index("|") for line in lines[1:] if "|" in line}
+    assert len(sep_positions) == 1
+
+
+def test_render_cdf_quantiles():
+    series = {"quiche": ([1e6, 2e6, 3e6], [0.0, 0.5, 1.0])}
+    out = render_cdf(series, quantiles=(0.5,), title="Fig 2")
+    assert "Fig 2" in out
+    assert "p50" in out
+    assert "2.000ms" in out
+
+
+def test_render_cdf_empty_series():
+    out = render_cdf({"x": ([], [])}, quantiles=(0.5,))
+    assert "-" in out
+
+
+def test_render_histogram_buckets_tail():
+    dist = {1: 10, 2: 20, 30: 30}
+    out = render_histogram(dist, title="PTL", bucket_tail_at=21)
+    assert "PTL" in out
+    assert ">=21" in out
+    assert "#" in out
+
+
+def test_render_histogram_percentages_sum():
+    dist = {1: 50, 2: 50}
+    out = render_histogram(dist)
+    assert "50.00%" in out

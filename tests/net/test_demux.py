@@ -1,0 +1,28 @@
+"""Port demultiplexer."""
+
+from repro.net.demux import PortDemux
+from tests.conftest import Collector, make_dgram
+
+
+def test_routes_by_destination_port(sim):
+    a, b = Collector(sim), Collector(sim)
+    demux = PortDemux({1000: a, 2000: b})
+    demux.receive(make_dgram(10, flow=("s", 1, "c", 1000)))
+    demux.receive(make_dgram(10, flow=("s", 1, "c", 2000)))
+    demux.receive(make_dgram(10, flow=("s", 1, "c", 1000)))
+    assert len(a) == 2
+    assert len(b) == 1
+
+
+def test_unrouted_counted_and_dropped(sim):
+    demux = PortDemux()
+    demux.receive(make_dgram(10, flow=("s", 1, "c", 9999)))
+    assert demux.unrouted == 1
+
+
+def test_add_route_later(sim):
+    col = Collector(sim)
+    demux = PortDemux()
+    demux.add_route(5, col)
+    demux.receive(make_dgram(10, flow=("s", 1, "c", 5)))
+    assert len(col) == 1

@@ -1,0 +1,70 @@
+"""NIC LaunchTime hold behaviour."""
+
+import random
+
+from repro.net.link import Link
+from repro.net.nic import Nic
+from repro.units import gbit, us
+from tests.conftest import make_dgram
+
+
+def _nic(sim, collector, launchtime, precision=0):
+    link = Link(sim, "l", rate_bps=gbit(100), sink=collector)
+    return Nic(
+        sim,
+        "nic",
+        link,
+        launchtime=launchtime,
+        launchtime_precision_ns=precision,
+        rng=random.Random(1),
+    )
+
+
+def test_without_launchtime_frames_pass_through(sim, collector):
+    nic = _nic(sim, collector, launchtime=False)
+    nic.receive(make_dgram(100, txtime=us(500)))
+    sim.run()
+    assert collector.times[0] < us(500)
+    assert nic.frames_held == 0
+
+
+def test_launchtime_holds_until_timestamp(sim, collector):
+    nic = _nic(sim, collector, launchtime=True)
+    nic.receive(make_dgram(100, txtime=us(500)))
+    sim.run()
+    assert collector.times[0] >= us(500)
+    assert nic.frames_held == 1
+
+
+def test_launchtime_ignores_past_timestamps(sim, collector):
+    nic = _nic(sim, collector, launchtime=True)
+    sim.schedule(us(100), lambda: nic.receive(make_dgram(100, txtime=us(50))))
+    sim.run()
+    assert nic.frames_held == 0
+    assert len(collector) == 1
+
+
+def test_launchtime_without_timestamp_sends_immediately(sim, collector):
+    nic = _nic(sim, collector, launchtime=True)
+    nic.receive(make_dgram(100))
+    sim.run()
+    assert nic.frames_held == 0
+
+
+def test_launchtime_precision_bounds_jitter(sim, collector):
+    nic = _nic(sim, collector, launchtime=True, precision=us(1))
+    for i in range(20):
+        nic.receive(make_dgram(100, txtime=us(100) * (i + 1)))
+    sim.run()
+    for i, t in enumerate(collector.times):
+        target = us(100) * (i + 1)
+        assert target <= t <= target + us(3)
+
+
+def test_launchtime_preserves_order(sim, collector):
+    nic = _nic(sim, collector, launchtime=True, precision=us(2))
+    # Two frames with timestamps closer than the precision jitter.
+    nic.receive(make_dgram(100, txtime=us(100), pn=0))
+    nic.receive(make_dgram(100, txtime=us(100) + 10, pn=1))
+    sim.run()
+    assert [d.packet_number for d in collector.dgrams] == [0, 1]

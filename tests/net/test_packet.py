@@ -1,0 +1,38 @@
+"""Datagram metadata and size accounting."""
+
+from repro.net.packet import Datagram, ETHERNET_OVERHEAD, WIRE_FRAMING
+
+FLOW = ("10.0.0.1", 443, "10.0.0.2", 40000)
+
+
+def test_wire_size_adds_headers():
+    d = Datagram(flow=FLOW, payload_size=1252)
+    assert d.wire_size == 1252 + ETHERNET_OVERHEAD
+
+
+def test_serialized_size_adds_framing():
+    d = Datagram(flow=FLOW, payload_size=100)
+    assert d.serialized_size == d.wire_size + WIRE_FRAMING
+
+
+def test_dgram_ids_unique_and_increasing():
+    a = Datagram(flow=FLOW, payload_size=1)
+    b = Datagram(flow=FLOW, payload_size=1)
+    assert b.dgram_id > a.dgram_id
+
+
+def test_reply_flow_swaps_endpoints():
+    d = Datagram(flow=FLOW, payload_size=1)
+    assert d.reply_flow() == ("10.0.0.2", 40000, "10.0.0.1", 443)
+
+
+def test_repr_mentions_packet_number():
+    d = Datagram(flow=FLOW, payload_size=1, packet_number=42)
+    assert "pn=42" in repr(d)
+
+
+def test_optional_fields_default_none():
+    d = Datagram(flow=FLOW, payload_size=1)
+    assert d.txtime_ns is None
+    assert d.gso_id is None
+    assert d.expected_send_ns is None

@@ -1,0 +1,106 @@
+"""Interval pacer (quiche/ngtcp2): schedule advance, idle reset, catch-up."""
+
+from hypothesis import given, strategies as st
+
+from repro.pacing.interval import IntervalPacer
+from repro.units import SEC, mbit, ms, us
+
+SIZE = 1252
+
+
+def interval(rate):
+    return SIZE * 8 * SEC // rate
+
+
+def test_first_packet_releases_immediately():
+    p = IntervalPacer(rate_bps=mbit(40))
+    assert p.release_time(ms(1), SIZE) == ms(1)
+
+
+def test_schedule_spaces_consecutive_packets():
+    p = IntervalPacer(rate_bps=mbit(40))
+    now = ms(1)
+    t1 = p.release_time(now, SIZE)
+    p.commit(t1, SIZE)
+    t2 = p.release_time(now, SIZE)
+    p.commit(t2, SIZE)
+    t3 = p.release_time(now, SIZE)
+    gap = interval(mbit(40))
+    assert t2 - t1 == gap
+    assert t3 - t2 == gap
+
+
+def test_idle_resets_schedule_without_credit():
+    p = IntervalPacer(rate_bps=mbit(40))
+    t1 = p.release_time(0, SIZE)
+    p.commit(t1, SIZE)
+    # Long idle: far past the catch-up horizon.
+    later = ms(100)
+    t = p.release_time(later, SIZE)
+    assert t == later
+    p.commit(t, SIZE)
+    # No banked burst: the next packet is spaced normally.
+    assert p.release_time(later, SIZE) == later + interval(mbit(40))
+
+
+def test_slightly_late_wakeup_catches_up():
+    p = IntervalPacer(rate_bps=mbit(40), catchup_horizon_ns=ms(2))
+    t1 = p.release_time(0, SIZE)
+    p.commit(t1, SIZE)
+    # Wake up one interval late: both this and the next packet go now.
+    late = 2 * interval(mbit(40))
+    t2 = p.release_time(late, SIZE)
+    assert t2 == late
+    p.commit(t2, SIZE)
+    t3 = p.release_time(late, SIZE)
+    assert t3 <= late + interval(mbit(40))
+
+
+def test_rate_update_changes_spacing():
+    p = IntervalPacer(rate_bps=mbit(10))
+    t1 = p.release_time(0, SIZE)
+    p.commit(t1, SIZE)
+    p.update_rate(mbit(40), 0)
+    t2 = p.release_time(0, SIZE)
+    p.commit(t2, SIZE)
+    t3 = p.release_time(0, SIZE)
+    assert t3 - t2 == interval(mbit(40))
+
+
+def test_burst_budget_allows_shared_timestamps():
+    p = IntervalPacer(rate_bps=mbit(40), burst_budget_bytes=2 * SIZE)
+    t1 = p.release_time(0, SIZE)
+    p.commit(t1, SIZE)
+    t2 = p.release_time(0, SIZE)
+    # Within the burst budget the second packet may release early.
+    assert t2 < interval(mbit(40))
+
+
+@given(
+    st.integers(min_value=1_000_000, max_value=10**9),
+    st.lists(st.integers(min_value=200, max_value=1500), min_size=2, max_size=40),
+)
+def test_timestamps_monotonic_nondecreasing(rate, sizes):
+    p = IntervalPacer(rate_bps=rate)
+    now = 0
+    last = 0
+    for size in sizes:
+        t = p.release_time(now, size)
+        assert t >= last
+        p.commit(t, size)
+        last = t
+
+
+@given(st.integers(min_value=5_000_000, max_value=10**9))
+def test_long_run_average_rate_close_to_target(rate):
+    p = IntervalPacer(rate_bps=rate)
+    t = 0
+    total = 0
+    n = 200
+    for _ in range(n):
+        t = max(t, p.release_time(t, SIZE))
+        p.commit(t, SIZE)
+        total += SIZE
+    if t > 0:
+        achieved = (total - SIZE) * 8 * SEC / t
+        assert achieved >= rate * 0.9

@@ -1,0 +1,85 @@
+"""Leaky-bucket pacer (picoquic): credit banking, post-idle bursts."""
+
+from hypothesis import given, strategies as st
+
+from repro.pacing.leaky_bucket import LeakyBucketPacer
+from repro.units import SEC, mbit, ms
+
+SIZE = 1252
+
+
+def make(rate=mbit(40), bucket_packets=16):
+    return LeakyBucketPacer(rate_bps=rate, bucket_max_bytes=bucket_packets * SIZE)
+
+
+def test_starts_with_full_bucket():
+    p = make()
+    assert p.credit_bytes == 16 * SIZE
+    assert p.release_time(0, SIZE) == 0
+
+
+def test_burst_up_to_bucket_then_blocks():
+    p = make(bucket_packets=4)
+    now = ms(10)
+    sent = 0
+    while p.release_time(now, SIZE) <= now and sent < 20:
+        p.commit(now, SIZE)
+        sent += 1
+    assert sent == 4
+
+
+def test_credit_refills_at_rate():
+    p = make(bucket_packets=1)
+    p.commit(0, SIZE)  # bucket empty
+    wait = p.release_time(0, SIZE)
+    expected = SIZE * 8 * SEC // mbit(40)
+    assert abs(wait - expected) <= expected // 100 + 2
+
+
+def test_idle_banks_credit_capped_at_bucket():
+    p = make(bucket_packets=8)
+    for _ in range(8):
+        p.commit(0, SIZE)
+    # Very long idle: credit caps at the bucket, not more.
+    later = ms(1000)
+    p.release_time(later, SIZE)
+    assert p.credit_bytes <= 8 * SIZE + 1
+
+
+def test_rate_change_affects_refill():
+    slow = make(rate=mbit(10), bucket_packets=1)
+    fast = make(rate=mbit(40), bucket_packets=1)
+    slow.commit(0, SIZE)
+    fast.commit(0, SIZE)
+    assert slow.release_time(0, SIZE) > fast.release_time(0, SIZE)
+
+
+def test_debt_is_bounded():
+    p = make(bucket_packets=2)
+    for _ in range(50):
+        p.commit(0, SIZE)
+    assert p.credit_bytes >= -2 * SIZE
+
+
+@given(
+    st.integers(min_value=2_000_000, max_value=10**8),
+    st.integers(min_value=1, max_value=32),
+)
+def test_sustained_rate_bounded_by_configuration(rate, bucket_pkts):
+    p = LeakyBucketPacer(rate_bps=rate, bucket_max_bytes=bucket_pkts * SIZE)
+    t = 0
+    sent_bytes = 0
+    for _ in range(300):
+        t = max(t, p.release_time(t, SIZE))
+        p.commit(t, SIZE)
+        sent_bytes += SIZE
+    # Over a long run, throughput can't exceed rate + one bucket of credit.
+    if t > 0:
+        max_bytes = rate * t / (8 * SEC) + bucket_pkts * SIZE + SIZE
+        assert sent_bytes <= max_bytes
+
+
+def test_release_time_never_in_past():
+    p = make()
+    for now in (0, ms(1), ms(5)):
+        assert p.release_time(now, SIZE) >= now

@@ -1,0 +1,38 @@
+"""Null pacer and GSO policy."""
+
+from repro.pacing.gso_policy import GSO_DISABLED, GSO_ENABLED, GSO_PACED, GsoPolicy
+from repro.pacing.null import NullPacer
+from repro.units import ms
+
+
+def test_null_pacer_always_now():
+    p = NullPacer()
+    assert p.release_time(ms(5), 1500) == ms(5)
+    p.commit(ms(5), 1500)
+    assert p.release_time(ms(5), 1500) == ms(5)
+
+
+def test_null_pacer_interval_helper():
+    p = NullPacer(rate_bps=8_000)
+    assert p.interval_ns(1) == 1_000_000
+
+
+def test_policy_disabled_one_segment():
+    assert GSO_DISABLED.segments_for(50) == 1
+
+
+def test_policy_enabled_caps_at_max():
+    assert GSO_ENABLED.segments_for(50) == 10
+    assert GSO_ENABLED.segments_for(3) == 3
+    assert GSO_ENABLED.segments_for(0) == 1
+
+
+def test_presets():
+    assert not GSO_DISABLED.enabled
+    assert GSO_ENABLED.enabled and not GSO_ENABLED.paced
+    assert GSO_PACED.enabled and GSO_PACED.paced
+
+
+def test_custom_policy():
+    p = GsoPolicy(enabled=True, max_segments=4, paced=True)
+    assert p.segments_for(10) == 4

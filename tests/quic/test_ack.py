@@ -1,0 +1,112 @@
+"""Receiver-side ACK manager policy."""
+
+from hypothesis import given, strategies as st
+
+from repro.quic.ack import AckManager
+from repro.units import ms
+
+
+def test_every_second_eliciting_packet_acks_immediately():
+    mgr = AckManager()
+    mgr.record(0, True, 0)
+    assert not mgr.should_ack_now(0)
+    mgr.record(1, True, 100)
+    assert mgr.should_ack_now(100)
+
+
+def test_delayed_ack_deadline():
+    mgr = AckManager(max_ack_delay_ns=ms(25))
+    mgr.record(0, True, 0)
+    assert mgr.ack_deadline() == ms(25)
+    assert not mgr.should_ack_now(ms(24))
+    assert mgr.should_ack_now(ms(25))
+
+
+def test_non_eliciting_packets_do_not_force_ack():
+    mgr = AckManager()
+    for pn in range(10):
+        mgr.record(pn, False, 0)
+    assert not mgr.ack_pending
+    assert mgr.ack_deadline() is None
+
+
+def test_new_gap_triggers_immediate_ack():
+    mgr = AckManager(ack_eliciting_threshold=100)
+    mgr.record(0, True, 0)
+    mgr.record(2, True, 10)  # pn 1 missing
+    assert mgr.should_ack_now(10)
+
+
+def test_old_gap_does_not_retrigger():
+    mgr = AckManager(ack_eliciting_threshold=100)
+    mgr.record(0, True, 0)
+    mgr.record(2, True, 10)
+    mgr.build_ack(10)
+    mgr.record(3, True, 20)  # gap at 1 persists but is not new
+    assert not mgr.should_ack_now(20)
+
+
+def test_build_ack_resets_state():
+    mgr = AckManager()
+    mgr.record(0, True, 0)
+    mgr.record(1, True, 10)
+    ack = mgr.build_ack(100)
+    assert ack.largest == 1
+    assert ack.ranges == ((0, 1),)
+    assert not mgr.ack_pending
+    assert mgr.ack_deadline() is None
+
+
+def test_ack_delay_reflects_largest_arrival():
+    mgr = AckManager()
+    mgr.record(0, True, ms(5))
+    ack = mgr.build_ack(ms(9))
+    assert ack.ack_delay_us == 4000
+
+
+def test_duplicates_counted_not_recorded():
+    mgr = AckManager()
+    mgr.record(0, True, 0)
+    mgr.record(0, True, 10)
+    assert mgr.duplicates == 1
+    assert mgr.received_count() == 1
+
+
+def test_ranges_merge_and_report_descending():
+    mgr = AckManager()
+    for pn in (0, 1, 5, 6, 3):
+        mgr.record(pn, True, 0)
+    ack = mgr.build_ack(0)
+    assert ack.largest == 6
+    assert ack.ranges == ((5, 6), (3, 3), (0, 1))
+
+
+def test_range_cap():
+    mgr = AckManager()
+    # 15 disjoint singletons; only the top 10 ranges go in the frame.
+    for pn in range(0, 30, 2):
+        mgr.record(pn, True, 0)
+    ack = mgr.build_ack(0)
+    assert len(ack.ranges) == 10
+    assert ack.ranges[0] == (28, 28)
+
+
+def test_build_ack_empty_returns_none():
+    assert AckManager().build_ack(0) is None
+
+
+@given(st.lists(st.integers(min_value=0, max_value=300), min_size=1, max_size=80))
+def test_ranges_model(pns):
+    mgr = AckManager()
+    for pn in pns:
+        mgr.record(pn, True, 0)
+    ack = mgr.build_ack(0)
+    covered = set(ack.acked_packet_numbers())
+    unique = set(pns)
+    assert ack.largest == max(unique)
+    # Frame ranges may truncate the lowest packet numbers (cap at 10 ranges),
+    # but everything covered must have been received, descending order holds.
+    assert covered <= unique
+    highs = [hi for _, hi in ack.ranges]
+    assert highs == sorted(highs, reverse=True)
+    assert mgr.received_count() == len(unique)

@@ -1,0 +1,74 @@
+"""Robustness: parsers must fail cleanly (EncodingError), never crash.
+
+A user-space QUIC endpoint is exposed to arbitrary datagrams; every byte
+sequence must either parse or raise the library's encoding error — any other
+exception is a bug. Hypothesis drives the parsers with random and with
+mutated-valid inputs.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.quic.connection import Connection
+from repro.quic.frames import StreamFrame, parse_frames
+from repro.quic.packet import PacketType, QuicPacket
+from repro.quic.varint import decode_varint
+
+
+@given(st.binary(min_size=0, max_size=400))
+def test_frame_parser_never_crashes(data):
+    try:
+        frames = parse_frames(data)
+    except EncodingError:
+        return
+    assert isinstance(frames, list)
+
+
+@given(st.binary(min_size=0, max_size=100))
+def test_packet_decoder_never_crashes(data):
+    try:
+        packet = QuicPacket.decode(data)
+    except EncodingError:
+        return
+    assert packet.packet_number >= 0
+
+
+@given(st.binary(min_size=0, max_size=20), st.integers(min_value=0, max_value=30))
+def test_varint_decoder_never_crashes(data, offset):
+    try:
+        value, end = decode_varint(data, offset)
+    except EncodingError:
+        return
+    assert 0 <= value
+    assert offset < end <= len(data)
+
+
+@st.composite
+def mutated_packet(draw):
+    """A valid encoded packet with one byte flipped."""
+    pn = draw(st.integers(min_value=0, max_value=1000))
+    data = draw(st.binary(min_size=1, max_size=200))
+    encoded = bytearray(
+        QuicPacket(PacketType.ONE_RTT, pn, [StreamFrame(0, 0, data)]).encode()
+    )
+    index = draw(st.integers(min_value=0, max_value=len(encoded) - 1))
+    flip = draw(st.integers(min_value=1, max_value=255))
+    encoded[index] ^= flip
+    return bytes(encoded)
+
+
+@given(mutated_packet())
+def test_connection_survives_mutated_packets(data):
+    conn = Connection("server")
+    conn.on_datagram(data, 0)  # must never raise
+    # Either it parsed (possibly into nonsense frames) or was counted as bad.
+    assert conn.packets_received + conn.decode_errors >= 0
+
+
+@given(st.lists(st.binary(min_size=0, max_size=120), min_size=1, max_size=10))
+def test_connection_survives_random_garbage(blobs):
+    conn = Connection("server")
+    for blob in blobs:
+        conn.on_datagram(blob, 0)
+    assert conn.decode_errors <= len(blobs)

@@ -1,0 +1,39 @@
+"""Minimal HTTP/3 framing layer."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.quic import h3
+
+
+def test_request_parses_as_headers_frame():
+    req = h3.encode_request("/file")
+    ftype, length, offset = h3.parse_frame_header(req)
+    assert ftype == h3.FRAME_HEADERS
+    assert offset + length == len(req)
+
+
+def test_response_prefix_announces_body_size():
+    prefix = h3.encode_response_prefix(1000)
+    ftype, hlen, off = h3.parse_frame_header(prefix)
+    assert ftype == h3.FRAME_HEADERS
+    ftype2, dlen, off2 = h3.parse_frame_header(prefix, off + hlen)
+    assert ftype2 == h3.FRAME_DATA
+    assert dlen == 1000
+    assert off2 == len(prefix)
+
+
+def test_response_stream_size_consistent():
+    body = 123_456
+    assert h3.response_stream_size(body) == len(h3.encode_response_prefix(body)) + body
+
+
+def test_response_size_grows_with_varint_width():
+    small = h3.response_stream_size(10) - 10
+    large = h3.response_stream_size(10**9) - 10**9
+    assert large > small
+
+
+def test_unknown_frame_type_rejected():
+    with pytest.raises(EncodingError):
+        h3.parse_frame_header(b"\x21\x00")

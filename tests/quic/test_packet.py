@@ -1,0 +1,76 @@
+"""QUIC packet encode/decode: headers, sizes, AEAD expansion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.quic.frames import CryptoFrame, PingFrame, StreamFrame
+from repro.quic.packet import (
+    AEAD_TAG_LEN,
+    PacketType,
+    QuicPacket,
+    short_header_overhead,
+)
+
+
+def test_short_header_roundtrip():
+    p = QuicPacket(PacketType.ONE_RTT, 42, [StreamFrame(0, 100, b"data", True)])
+    decoded = QuicPacket.decode(p.encode())
+    assert decoded.packet_type is PacketType.ONE_RTT
+    assert decoded.packet_number == 42
+    assert decoded.frames == p.frames
+
+
+def test_long_header_roundtrip():
+    for ptype in (PacketType.INITIAL, PacketType.HANDSHAKE):
+        p = QuicPacket(ptype, 0, [CryptoFrame(0, bytes(100))], dcid=b"\x01" * 8, scid=b"\x02" * 8)
+        decoded = QuicPacket.decode(p.encode())
+        assert decoded.packet_type is ptype
+        assert decoded.dcid == b"\x01" * 8
+        assert decoded.scid == b"\x02" * 8
+        assert decoded.frames == p.frames
+
+
+def test_encoded_len_matches_actual():
+    p = QuicPacket(PacketType.ONE_RTT, 7, [StreamFrame(4, 0, bytes(500))])
+    assert p.encoded_len == len(p.encode())
+    p2 = QuicPacket(PacketType.INITIAL, 0, [CryptoFrame(0, bytes(300))])
+    assert p2.encoded_len == len(p2.encode())
+
+
+def test_aead_tag_counts_toward_size():
+    p = QuicPacket(PacketType.ONE_RTT, 0, [PingFrame()])
+    # flags + dcid(8) + pn(4) + ping(1) + tag(16)
+    assert len(p.encode()) == 1 + 8 + 4 + 1 + AEAD_TAG_LEN
+    assert short_header_overhead() == 1 + 8 + 4 + AEAD_TAG_LEN
+
+
+def test_empty_packet_rejected():
+    with pytest.raises(EncodingError):
+        QuicPacket(PacketType.ONE_RTT, 0, []).encode()
+
+
+def test_truncated_packet_rejected():
+    with pytest.raises(EncodingError):
+        QuicPacket.decode(b"\x40\x00")
+
+
+def test_ack_eliciting_property():
+    from repro.quic.frames import AckFrame
+
+    only_ack = QuicPacket(PacketType.ONE_RTT, 0, [AckFrame(0, 0, ((0, 0),))])
+    assert not only_ack.ack_eliciting
+    with_data = QuicPacket(PacketType.ONE_RTT, 0, [AckFrame(0, 0, ((0, 0),)), PingFrame()])
+    assert with_data.ack_eliciting
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.binary(min_size=0, max_size=1200),
+    st.booleans(),
+)
+def test_short_header_roundtrip_property(pn, data, fin):
+    p = QuicPacket(PacketType.ONE_RTT, pn, [StreamFrame(0, 1, data, fin)])
+    d = QuicPacket.decode(p.encode())
+    assert d.packet_number == pn
+    assert d.frames == p.frames

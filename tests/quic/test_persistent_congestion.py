@@ -1,0 +1,107 @@
+"""Persistent congestion (RFC 9002 §7.6)."""
+
+from repro.cc.cubic import Cubic, CubicParams
+from repro.quic.frames import AckFrame
+from repro.quic.recovery import LossRecovery, SentPacket
+from repro.quic.rtt import RttEstimator
+from repro.units import ms, seconds
+from tests.cc.helpers import MTU, drive_acks
+
+
+def mk(pn, t):
+    return SentPacket(pn=pn, time_sent=t, size=1200, ack_eliciting=True, in_flight=True)
+
+
+def primed_recovery():
+    rec = LossRecovery(RttEstimator())
+    rec.on_packet_sent(mk(0, 0), 0)
+    rec.on_ack_frame(AckFrame(0, 0, ((0, 0),)), ms(40))  # RTT sample
+    return rec
+
+
+def test_long_loss_span_flags_persistent_congestion():
+    rec = primed_recovery()
+    # Packets spanning far more than 3 x PTO, all lost.
+    for pn, t in ((1, ms(100)), (2, ms(400)), (3, ms(800))):
+        rec.on_packet_sent(mk(pn, t), t)
+    rec.on_packet_sent(mk(4, ms(900)), ms(900))
+    result = rec.on_ack_frame(AckFrame(4, 0, ((4, 4),)), ms(950))
+    assert len(result.lost) == 3
+    assert result.persistent_congestion
+
+
+def test_short_loss_span_is_not_persistent():
+    rec = primed_recovery()
+    for pn, t in ((1, ms(100)), (2, ms(101)), (3, ms(102))):
+        rec.on_packet_sent(mk(pn, t), t)
+    rec.on_packet_sent(mk(4, ms(110)), ms(110))
+    result = rec.on_ack_frame(AckFrame(4, 0, ((4, 4),)), ms(160))
+    assert result.lost
+    assert not result.persistent_congestion
+
+
+def test_single_loss_never_persistent():
+    rec = primed_recovery()
+    rec.on_packet_sent(mk(1, ms(100)), ms(100))
+    rec.on_packet_sent(mk(2, seconds(3)), seconds(3))
+    result = rec.on_ack_frame(AckFrame(2, 0, ((2, 2),)), seconds(3) + ms(50))
+    assert len(result.lost) == 1
+    assert not result.persistent_congestion
+
+
+def test_intervening_ack_breaks_persistence():
+    rec = primed_recovery()
+    rec.on_packet_sent(mk(1, ms(100)), ms(100))
+    rec.on_packet_sent(mk(2, ms(500)), ms(500))  # will be acked
+    rec.on_packet_sent(mk(3, ms(900)), ms(900))
+    rec.on_packet_sent(mk(4, ms(1000)), ms(1000))
+    result = rec.on_ack_frame(AckFrame(4, 0, ((4, 4), (2, 2))), ms(1050))
+    assert {sp.pn for sp in result.lost} == {1, 3}
+    assert not result.persistent_congestion
+
+
+def test_requires_rtt_sample():
+    rec = LossRecovery(RttEstimator())  # no sample yet
+    assert not rec._is_persistent_congestion([mk(1, 0), mk(2, seconds(5))], [])
+
+
+def test_cubic_collapses_to_minimum():
+    cc = Cubic(params=CubicParams(hystart=False), mtu=MTU)
+    drive_acks(cc, 100)
+    assert cc.cwnd > cc.min_cwnd
+    cc.on_persistent_congestion(ms(5000))
+    assert cc.cwnd == cc.min_cwnd
+    assert cc.epoch_start == -1
+    assert cc._checkpoint is None
+
+
+def test_end_to_end_outage_recovery():
+    """A connection survives a multi-second total outage via PTO + collapse."""
+    from repro.quic.stream import DataSource
+    from repro.units import kib
+    from tests.quic.test_connection import complete_handshake, make_pair, pump
+
+    server, client = make_pair()
+    complete_handshake(server, client)
+    server.open_send_stream(0, DataSource(kib(30)))
+    now = ms(1)
+    # Phase 1: everything the server sends for 2 seconds is dropped.
+    while now < seconds(2):
+        while server.wants_to_send(now):
+            built = server.build_packet(now)
+            if built is None:
+                break
+            server.on_packet_sent(built, now)  # never delivered
+        server.on_timeout(now)
+        now += ms(50)
+    # Phase 2: connectivity returns. Recovery must wait out the backed-off
+    # PTO (seconds by now), then probe, detect the outage losses and refill.
+    for _ in range(1500):
+        pump(server, client, now)
+        now += ms(10)
+        server.on_timeout(now)
+        client.on_timeout(now)
+        if client.transfer_complete(0):
+            break
+    assert client.transfer_complete(0)
+    assert server.recovery.lost_packets_total > 0

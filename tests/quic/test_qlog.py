@@ -1,0 +1,73 @@
+"""qlog-style tracing."""
+
+import json
+
+from repro.framework.config import ExperimentConfig
+from repro.framework.experiment import Experiment
+from repro.quic.qlog import QlogTrace, attach_qlog
+from repro.units import kib
+
+
+def run_traced(**kwargs):
+    kwargs.setdefault("file_size", kib(200))
+    cfg = ExperimentConfig(stack="quiche", repetitions=1, qlog=True, **kwargs)
+    experiment = Experiment(cfg, seed=17)
+    result = experiment.run()
+    return experiment, result
+
+
+def test_trace_records_sends_and_receives():
+    experiment, result = run_traced()
+    trace = experiment.qlog_trace
+    sent = trace.of_type("transport:packet_sent")
+    assert len(sent) == experiment.server.conn.packets_sent
+    assert len(trace.of_type("transport:packet_received")) > 0
+    # Events are time-ordered.
+    times = [e.time_ns for e in trace.events]
+    assert times == sorted(times)
+
+
+def test_metrics_updated_on_acks():
+    experiment, _ = run_traced()
+    metrics = experiment.qlog_trace.of_type("recovery:metrics_updated")
+    assert metrics
+    for e in metrics[:10]:
+        assert e.data["cwnd"] > 0
+        assert e.data["pacing_rate_bps"] > 0
+
+
+def test_loss_events_traced():
+    experiment, result = run_traced(file_size=kib(2048))
+    lost = experiment.qlog_trace.of_type("recovery:packet_lost")
+    events = experiment.qlog_trace.of_type("recovery:congestion_event")
+    assert result.dropped > 0
+    assert len(lost) >= result.dropped * 0.5  # most drops get detected
+    assert events
+
+
+def test_packet_sent_payload_fields():
+    experiment, _ = run_traced()
+    e = experiment.qlog_trace.of_type("transport:packet_sent")[0]
+    assert {"packet_number", "size", "ack_eliciting", "frames"} <= set(e.data)
+
+
+def test_serialization_roundtrip(tmp_path):
+    experiment, _ = run_traced()
+    path = experiment.qlog_trace.save(tmp_path / "trace.qlog")
+    loaded = json.loads(path.read_text())
+    assert loaded["qlog_version"]
+    assert loaded["trace"]["events"]
+    assert loaded["trace"]["events"][0]["time"] >= 0
+
+
+def test_manual_attach():
+    from repro.quic.connection import Connection
+
+    conn = Connection("client")
+    trace = QlogTrace("manual", vantage_point="client")
+    attach_qlog(conn, trace)
+    conn.start_handshake()
+    built = conn.build_packet(0)
+    conn.on_packet_sent(built, 0)
+    assert len(trace.of_type("transport:packet_sent")) == 1
+    assert conn.qlog is trace

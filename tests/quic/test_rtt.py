@@ -1,0 +1,78 @@
+"""RTT estimation per RFC 9002 §5."""
+
+from repro.quic.rtt import RttEstimator
+from repro.units import ms
+
+
+def test_initial_state():
+    rtt = RttEstimator()
+    assert not rtt.has_sample
+    assert rtt.smoothed_rtt == RttEstimator.INITIAL_RTT
+    assert rtt.rttvar == RttEstimator.INITIAL_RTT // 2
+
+
+def test_first_sample_initializes(sim=None):
+    rtt = RttEstimator()
+    rtt.update(ms(40))
+    assert rtt.has_sample
+    assert rtt.smoothed_rtt == ms(40)
+    assert rtt.min_rtt == ms(40)
+    assert rtt.rttvar == ms(20)
+
+
+def test_ewma_converges():
+    rtt = RttEstimator()
+    for _ in range(100):
+        rtt.update(ms(40))
+    assert abs(rtt.smoothed_rtt - ms(40)) < ms(1)
+    assert rtt.rttvar < ms(2)
+
+
+def test_min_rtt_tracks_minimum():
+    rtt = RttEstimator()
+    rtt.update(ms(50))
+    rtt.update(ms(40))
+    rtt.update(ms(60))
+    assert rtt.min_rtt == ms(40)
+
+
+def test_ack_delay_subtracted_when_safe():
+    rtt = RttEstimator(max_ack_delay_ns=ms(25))
+    rtt.update(ms(40))
+    rtt.update(ms(50), ack_delay_ns=ms(10))
+    # Adjusted sample is 40ms, so smoothed stays at 40.
+    assert rtt.smoothed_rtt == ms(40)
+
+
+def test_ack_delay_not_below_min_rtt():
+    rtt = RttEstimator(max_ack_delay_ns=ms(25))
+    rtt.update(ms(40))
+    before = rtt.smoothed_rtt
+    rtt.update(ms(42), ack_delay_ns=ms(20))  # would dip below min
+    # Full 42ms sample used; smoothed moves up slightly.
+    assert rtt.smoothed_rtt >= before
+
+
+def test_ack_delay_capped_at_max():
+    rtt = RttEstimator(max_ack_delay_ns=ms(5))
+    rtt.update(ms(40))
+    rtt.update(ms(60), ack_delay_ns=ms(50))
+    # Only 5ms credited: adjusted = 55ms.
+    assert rtt.latest_rtt == ms(60)
+    assert rtt.smoothed_rtt == (7 * ms(40) + ms(55)) // 8
+
+
+def test_nonpositive_samples_ignored():
+    rtt = RttEstimator()
+    rtt.update(0)
+    rtt.update(-5)
+    assert not rtt.has_sample
+
+
+def test_pto_interval_components():
+    rtt = RttEstimator(max_ack_delay_ns=ms(25))
+    for _ in range(50):
+        rtt.update(ms(40))
+    pto = rtt.pto_interval()
+    assert pto >= ms(40) + ms(1) + ms(25)
+    assert pto < ms(80)

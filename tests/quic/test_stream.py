@@ -1,0 +1,176 @@
+"""Send/receive stream state machines."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ProtocolError
+from repro.quic.stream import DataSource, RecvStream, SendStream
+
+
+def make_stream(size=10_000):
+    return SendStream(0, DataSource(size))
+
+
+class TestDataSource:
+    def test_read_within_bounds(self):
+        src = DataSource(100)
+        assert src.read(0, 10) == bytes(10)
+        assert src.read(95, 10) == bytes(5)
+        assert src.read(100, 10) == b""
+
+    def test_fill_byte(self):
+        src = DataSource(4, fill=0xAB)
+        assert src.read(0, 4) == b"\xab\xab\xab\xab"
+
+
+class TestSendStream:
+    def test_sequential_chunks(self):
+        s = make_stream(2500)
+        chunks = []
+        while True:
+            c = s.next_chunk(1000)
+            if c is None:
+                break
+            chunks.append(c)
+        assert chunks == [
+            (0, 1000, False, False),
+            (1000, 1000, False, False),
+            (2000, 500, True, False),
+        ]
+        assert s.fin_sent
+
+    def test_fin_on_exact_boundary(self):
+        s = make_stream(1000)
+        assert s.next_chunk(1000) == (0, 1000, True, False)
+
+    def test_bare_fin_when_no_budget(self):
+        s = make_stream(1000)
+        s.next_chunk(1000)
+        s.fin_sent = False  # pretend the FIN-carrying frame was lost
+        assert s.next_chunk(0) == (1000, 0, True, False)
+
+    def test_loss_queues_retransmission_first(self):
+        s = make_stream(5000)
+        s.next_chunk(1000)
+        s.next_chunk(1000)
+        s.on_loss(0, 1000, False)
+        assert s.has_retx
+        assert s.next_chunk(400) == (0, 400, False, True)
+        assert s.next_chunk(600) == (400, 600, False, True)
+        # After retransmissions, new data resumes.
+        assert s.next_chunk(1000) == (2000, 1000, False, False)
+
+    def test_loss_of_acked_bytes_not_requeued(self):
+        s = make_stream(5000)
+        s.next_chunk(1000)
+        s.on_ack(0, 600, False)
+        s.on_loss(0, 1000, False)
+        assert s.retx_pending_bytes == 400
+        assert s.next_chunk(1000) == (600, 400, False, True)
+
+    def test_all_acked(self):
+        s = make_stream(1000)
+        s.next_chunk(1000)
+        assert not s.all_acked
+        s.on_ack(0, 1000, True)
+        assert s.all_acked
+
+    def test_fin_loss_resends_fin(self):
+        s = make_stream(100)
+        s.next_chunk(100)
+        s.on_loss(0, 100, True)
+        offset, length, fin, is_retx = s.next_chunk(200)
+        assert (offset, length, fin, is_retx) == (0, 100, True, True)
+
+    def test_adjacent_retx_ranges_merge(self):
+        s = make_stream(5000)
+        for _ in range(3):
+            s.next_chunk(1000)
+        s.on_loss(0, 1000, False)
+        s.on_loss(1000, 1000, False)
+        assert s.retx_pending_bytes == 2000
+        assert len(s._retx) == 1
+
+    def test_has_data_reflects_state(self):
+        s = make_stream(100)
+        assert s.has_data
+        s.next_chunk(100)
+        assert not s.has_data
+        s.on_loss(0, 100, False)
+        assert s.has_data
+
+
+class TestRecvStream:
+    def test_in_order_delivery(self):
+        r = RecvStream(0)
+        assert r.on_frame(0, 100, False) == 100
+        assert r.delivered == 100
+        assert r.on_frame(100, 100, True) == 100
+        assert r.complete
+        assert r.final_size == 200
+
+    def test_out_of_order_reassembly(self):
+        r = RecvStream(0)
+        r.on_frame(100, 100, False)
+        assert r.delivered == 0
+        r.on_frame(0, 100, False)
+        assert r.delivered == 200
+
+    def test_duplicates_counted_once(self):
+        r = RecvStream(0)
+        r.on_frame(0, 100, False)
+        assert r.on_frame(0, 100, False) == 0
+        assert r.bytes_received_total == 200
+        assert r.received.total == 100
+
+    def test_conflicting_final_size_rejected(self):
+        r = RecvStream(0)
+        r.on_frame(0, 100, True)
+        with pytest.raises(ProtocolError):
+            r.on_frame(100, 50, True)
+
+    def test_data_past_final_size_rejected(self):
+        r = RecvStream(0)
+        r.on_frame(0, 100, True)
+        with pytest.raises(ProtocolError):
+            r.on_frame(100, 1, False)
+
+    def test_not_complete_with_gap(self):
+        r = RecvStream(0)
+        r.on_frame(50, 50, True)
+        assert not r.complete
+        r.on_frame(0, 50, False)
+        assert r.complete
+
+
+@given(st.permutations(list(range(10))))
+def test_recv_stream_any_arrival_order(order):
+    r = RecvStream(0)
+    for idx in order:
+        fin = idx == 9
+        r.on_frame(idx * 100, 100, fin)
+    assert r.complete
+    assert r.delivered == 1000
+
+
+@given(
+    st.integers(min_value=1, max_value=5000),
+    st.lists(st.integers(min_value=1, max_value=700), min_size=1, max_size=20),
+)
+def test_send_stream_emits_every_byte_exactly_once(size, budgets):
+    s = SendStream(0, DataSource(size))
+    emitted = []
+    i = 0
+    while True:
+        c = s.next_chunk(budgets[i % len(budgets)])
+        i += 1
+        if c is None:
+            break
+        emitted.append(c)
+    covered = set()
+    for offset, length, _fin, _retx in emitted:
+        chunk = set(range(offset, offset + length))
+        assert not (chunk & covered)  # no duplicates without loss
+        covered |= chunk
+    assert covered == set(range(size))
+    assert emitted[-1][2]  # last chunk carries FIN

@@ -1,0 +1,84 @@
+"""QUIC varint encoding (RFC 9000 §16), including RFC test vectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.quic.varint import MAX_VARINT, decode_varint, encode_varint, varint_len
+
+
+# RFC 9000 Appendix A.1 example values.
+RFC_VECTORS = [
+    (151_288_809_941_952_652, bytes.fromhex("c2197c5eff14e88c")),
+    (494_878_333, bytes.fromhex("9d7f3e7d")),
+    (15_293, bytes.fromhex("7bbd")),
+    (37, bytes.fromhex("25")),
+]
+
+
+@pytest.mark.parametrize("value,encoded", RFC_VECTORS)
+def test_rfc_vectors_encode(value, encoded):
+    assert encode_varint(value) == encoded
+
+
+@pytest.mark.parametrize("value,encoded", RFC_VECTORS)
+def test_rfc_vectors_decode(value, encoded):
+    decoded, offset = decode_varint(encoded)
+    assert decoded == value
+    assert offset == len(encoded)
+
+
+def test_length_boundaries():
+    assert varint_len(0) == 1
+    assert varint_len(63) == 1
+    assert varint_len(64) == 2
+    assert varint_len(16383) == 2
+    assert varint_len(16384) == 4
+    assert varint_len((1 << 30) - 1) == 4
+    assert varint_len(1 << 30) == 8
+    assert varint_len(MAX_VARINT) == 8
+
+
+def test_negative_rejected():
+    with pytest.raises(EncodingError):
+        encode_varint(-1)
+
+
+def test_too_large_rejected():
+    with pytest.raises(EncodingError):
+        encode_varint(MAX_VARINT + 1)
+
+
+def test_truncated_input_rejected():
+    encoded = encode_varint(494_878_333)
+    with pytest.raises(EncodingError):
+        decode_varint(encoded[:2])
+    with pytest.raises(EncodingError):
+        decode_varint(b"")
+
+
+def test_decode_at_offset():
+    data = b"\x00" + encode_varint(15_293)
+    value, offset = decode_varint(data, 1)
+    assert value == 15_293
+    assert offset == 3
+
+
+@given(st.integers(min_value=0, max_value=MAX_VARINT))
+def test_roundtrip(value):
+    encoded = encode_varint(value)
+    assert len(encoded) == varint_len(value)
+    decoded, offset = decode_varint(encoded)
+    assert decoded == value
+    assert offset == len(encoded)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=MAX_VARINT), min_size=1, max_size=20))
+def test_concatenated_stream_roundtrip(values):
+    blob = b"".join(encode_varint(v) for v in values)
+    out = []
+    offset = 0
+    while offset < len(blob):
+        v, offset = decode_varint(blob, offset)
+        out.append(v)
+    assert out == values

@@ -1,0 +1,59 @@
+"""Timer-model behaviour: granularity, overhead, jitter determinism."""
+
+import random
+
+from repro.sim.clock import JitterModel, TimerModel, PERFECT_TIMER
+from repro.units import us, ms
+
+
+def test_perfect_timer_fires_exactly(rng):
+    assert PERFECT_TIMER.fire_time(1000, 0, rng) == 1000
+
+
+def test_requested_time_in_past_clamps_to_now(rng):
+    assert PERFECT_TIMER.fire_time(100, 500, rng) == 500
+
+
+def test_granularity_rounds_up(rng):
+    model = TimerModel(granularity_ns=ms(1))
+    assert model.fire_time(ms(1) + 1, 0, rng) == ms(2)
+    assert model.fire_time(ms(3), 0, rng) == ms(3)
+
+
+def test_overhead_is_added(rng):
+    model = TimerModel(overhead_ns=us(5))
+    assert model.fire_time(1000, 0, rng) == 1000 + us(5)
+
+
+def test_zero_median_jitter_is_zero():
+    jm = JitterModel(median_ns=0, sigma=1.0)
+    assert jm.sample(random.Random(1)) == 0
+
+
+def test_deterministic_jitter_without_sigma():
+    jm = JitterModel(median_ns=us(10), sigma=0.0)
+    assert jm.sample(random.Random(1)) == us(10)
+    assert jm.sample(random.Random(2)) == us(10)
+
+
+def test_jitter_is_positive_and_spreads():
+    jm = JitterModel(median_ns=us(100), sigma=0.8)
+    rng = random.Random(42)
+    samples = [jm.sample(rng) for _ in range(500)]
+    assert all(s > 0 for s in samples)
+    assert min(samples) < us(100) < max(samples)
+    # The median should land near the configured median.
+    samples.sort()
+    assert us(40) < samples[250] < us(250)
+
+
+def test_jitter_reproducible_for_seed():
+    jm = JitterModel(median_ns=us(100), sigma=0.8)
+    a = [jm.sample(random.Random(7)) for _ in range(10)]
+    b = [jm.sample(random.Random(7)) for _ in range(10)]
+    assert a == b
+
+
+def test_fire_time_never_before_now(rng):
+    model = TimerModel(granularity_ns=us(100))
+    assert model.fire_time(0, us(5000), rng) >= us(5000)

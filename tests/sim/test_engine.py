@@ -1,0 +1,153 @@
+"""Event-engine semantics: ordering, cancellation, run bounds."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0
+
+
+def test_schedule_and_run_advances_clock(sim):
+    fired = []
+    sim.schedule(100, fired.append, 1)
+    sim.run()
+    assert fired == [1]
+    assert sim.now == 100
+
+
+def test_events_fire_in_time_order(sim):
+    order = []
+    sim.schedule(300, order.append, "c")
+    sim.schedule(100, order.append, "a")
+    sim.schedule(200, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_fifo(sim):
+    order = []
+    for i in range(10):
+        sim.schedule(50, order.append, i)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_schedule_at_absolute_time(sim):
+    sim.schedule(10, lambda: None)
+    sim.run()
+    handle = sim.schedule_at(500, lambda: None)
+    assert handle.time == 500
+
+
+def test_cannot_schedule_in_past(sim):
+    sim.schedule(100, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(50, lambda: None)
+
+
+def test_cancelled_event_does_not_fire(sim):
+    fired = []
+    handle = sim.schedule(100, fired.append, 1)
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_is_idempotent(sim):
+    handle = sim.schedule(100, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_run_until_stops_before_later_events(sim):
+    fired = []
+    sim.schedule(100, fired.append, 1)
+    sim.schedule(300, fired.append, 2)
+    sim.run(until=200)
+    assert fired == [1]
+    assert sim.now == 200
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_run_until_advances_clock_even_without_events(sim):
+    sim.run(until=12345)
+    assert sim.now == 12345
+
+
+def test_events_scheduled_during_run_fire(sim):
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(50, lambda: order.append("nested"))
+
+    sim.schedule(10, first)
+    sim.run()
+    assert order == ["first", "nested"]
+
+
+def test_call_soon_runs_at_current_time_after_pending(sim):
+    order = []
+
+    def handler():
+        order.append("a")
+        sim.call_soon(lambda: order.append("soon"))
+        order.append("b")
+
+    sim.schedule(10, handler)
+    sim.run()
+    assert order == ["a", "b", "soon"]
+    assert sim.now == 10
+
+
+def test_max_events_bound(sim):
+    for i in range(100):
+        sim.schedule(i + 1, lambda: None)
+    sim.run(max_events=10)
+    assert sim.events_processed == 10
+
+
+def test_step_returns_false_when_empty(sim):
+    assert sim.step() is False
+
+
+def test_peek_time_skips_cancelled(sim):
+    h1 = sim.schedule(100, lambda: None)
+    sim.schedule(200, lambda: None)
+    h1.cancel()
+    assert sim.peek_time() == 200
+
+
+def test_events_processed_counter(sim):
+    for _ in range(5):
+        sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_reentrant_run_rejected(sim):
+    def inner():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1, inner)
+    sim.run()
+
+
+def test_cancelled_events_drop_references(sim):
+    class Big:
+        pass
+
+    obj = Big()
+    handle = sim.schedule(100, lambda o: None, obj)
+    handle.cancel()
+    assert handle.args == ()

@@ -1,0 +1,96 @@
+"""SimProcess wake-up semantics: re-arming, external wakes, jitter paths."""
+
+import random
+
+from repro.sim.clock import JitterModel, TimerModel
+from repro.sim.process import SimProcess
+from repro.units import us
+
+
+class Recorder(SimProcess):
+    def __init__(self, sim, timer_model=TimerModel()):
+        super().__init__(sim, "rec", timer_model, random.Random(1))
+        self.times = []
+
+    def on_wakeup(self):
+        self.times.append(self.sim.now)
+
+
+def test_arm_timer_fires_at_deadline(sim):
+    proc = Recorder(sim)
+    proc.arm_timer(1000)
+    sim.run()
+    assert proc.times == [1000]
+    assert proc.wakeups == 1
+
+
+def test_rearm_with_earlier_deadline_wins(sim):
+    proc = Recorder(sim)
+    proc.arm_timer(5000)
+    proc.arm_timer(1000)
+    sim.run()
+    assert proc.times == [1000]
+
+
+def test_rearm_with_later_deadline_ignored(sim):
+    proc = Recorder(sim)
+    proc.arm_timer(1000)
+    proc.arm_timer(5000)
+    sim.run()
+    assert proc.times == [1000]
+
+
+def test_wake_now_supersedes_timer(sim):
+    proc = Recorder(sim)
+    proc.arm_timer(5000)
+    sim.schedule(100, proc.wake_now)
+    sim.run()
+    assert proc.times == [100]
+
+
+def test_cancel_timer(sim):
+    proc = Recorder(sim)
+    proc.arm_timer(1000)
+    proc.cancel_timer()
+    sim.run()
+    assert proc.times == []
+    assert not proc.timer_armed
+
+
+def test_timer_granularity_applies_to_timers(sim):
+    proc = Recorder(sim, TimerModel(granularity_ns=us(100)))
+    proc.arm_timer(us(150))
+    sim.run()
+    assert proc.times == [us(200)]
+
+
+def test_wake_now_skips_granularity(sim):
+    proc = Recorder(sim, TimerModel(granularity_ns=us(100)))
+    sim.schedule(us(150), proc.wake_now)
+    sim.run()
+    assert proc.times == [us(150)]
+
+
+def test_wake_now_pays_jitter(sim):
+    proc = Recorder(sim, TimerModel(jitter=JitterModel(median_ns=us(10), sigma=0.0)))
+    sim.schedule(us(100), proc.wake_now)
+    sim.run()
+    assert proc.times == [us(100) + us(10)]
+
+
+def test_process_can_rearm_from_handler(sim):
+    class Periodic(SimProcess):
+        def __init__(self, s):
+            super().__init__(s, "p")
+            self.count = 0
+
+        def on_wakeup(self):
+            self.count += 1
+            if self.count < 5:
+                self.arm_timer(self.sim.now + 100)
+
+    proc = Periodic(sim)
+    proc.arm_timer(100)
+    sim.run()
+    assert proc.count == 5
+    assert sim.now == 500

@@ -1,0 +1,69 @@
+"""Stack profile construction and CCA-dependent quirks."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pacing import IntervalPacer, LeakyBucketPacer, NullPacer
+from repro.stacks.base import StackProfile, make_pacer
+from repro.stacks.profiles import ngtcp2_profile, picoquic_profile, profile_for, quiche_profile
+
+
+def test_quiche_uses_txtime_and_so_txtime():
+    p = quiche_profile()
+    assert p.pacing == "txtime"
+    assert p.so_txtime
+    assert p.spurious_rollback  # stock quiche
+
+
+def test_quiche_sf_patch():
+    p = profile_for("quiche", spurious_rollback=False)
+    assert not p.spurious_rollback
+
+
+def test_picoquic_leaky_bucket_and_ack_frequency_client():
+    p = picoquic_profile()
+    assert p.pacing == "leaky_bucket"
+    assert p.client_ack_threshold > 100  # timer-driven acks
+    assert p.client_max_ack_delay_ns > 0
+
+
+def test_picoquic_bbr_small_bucket():
+    cubic = profile_for("picoquic", "cubic")
+    bbr = profile_for("picoquic", "bbr")
+    assert bbr.bucket_packets < cubic.bucket_packets
+
+
+def test_ngtcp2_fixed_windows():
+    p = ngtcp2_profile()
+    assert p.pacing == "app_interval"
+    assert not p.fc_autotune
+    assert p.recv_conn_window < 1 << 20
+    assert p.bbr_params is not None
+
+
+def test_profile_for_sets_cca():
+    assert profile_for("quiche", "bbr").cca == "bbr"
+
+
+def test_unknown_stack_rejected():
+    with pytest.raises(ConfigError):
+        profile_for("msquic")
+
+
+def test_invalid_pacing_mode_rejected():
+    with pytest.raises(ConfigError):
+        StackProfile(name="x", pacing="warp").validate()
+
+
+def test_make_pacer_mapping():
+    assert isinstance(make_pacer(profile_for("quiche"), 1252), IntervalPacer)
+    assert isinstance(make_pacer(profile_for("ngtcp2"), 1252), IntervalPacer)
+    assert isinstance(make_pacer(profile_for("picoquic"), 1252), LeakyBucketPacer)
+    assert isinstance(
+        make_pacer(StackProfile(name="x", pacing="none"), 1252), NullPacer
+    )
+
+
+def test_leaky_bucket_sized_by_profile():
+    pacer = make_pacer(profile_for("picoquic"), 1252)
+    assert pacer.bucket_max_bytes == profile_for("picoquic").bucket_packets * 1252

@@ -1,0 +1,74 @@
+"""Unit conversions and serialization arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_time_helpers():
+    assert units.us(1) == 1_000
+    assert units.ms(1.5) == 1_500_000
+    assert units.seconds(2) == 2_000_000_000
+
+
+def test_rate_helpers():
+    assert units.mbit(40) == 40_000_000
+    assert units.gbit(1) == 1_000_000_000
+
+
+def test_size_helpers():
+    assert units.kib(1) == 1024
+    assert units.mib(1) == 1024 * 1024
+
+
+def test_tx_time_simple():
+    # 1250 bytes at 1 Gbit/s = 10 us.
+    assert units.tx_time_ns(1250, units.gbit(1)) == units.us(10)
+
+
+def test_tx_time_rounds_up():
+    assert units.tx_time_ns(1, units.gbit(1)) == 8
+
+
+def test_tx_time_rejects_zero_rate():
+    with pytest.raises(ValueError):
+        units.tx_time_ns(100, 0)
+
+
+def test_rate_from_bytes_and_duration():
+    assert units.rate_bps_from(5_000_000, units.seconds(1)) == 40_000_000.0
+
+
+def test_rate_from_rejects_zero_duration():
+    with pytest.raises(ValueError):
+        units.rate_bps_from(1, 0)
+
+
+def test_fmt_time_scales():
+    assert units.fmt_time(5) == "5ns"
+    assert units.fmt_time(units.us(3)) == "3.000us"
+    assert units.fmt_time(units.ms(2)) == "2.000ms"
+    assert units.fmt_time(units.seconds(1)) == "1.000s"
+
+
+def test_fmt_rate_scales():
+    assert "Mbit" in units.fmt_rate(units.mbit(40))
+    assert "Gbit" in units.fmt_rate(units.gbit(2))
+    assert "kbit" in units.fmt_rate(50_000)
+    assert "bit" in units.fmt_rate(10)
+
+
+@given(st.integers(min_value=1, max_value=10**7), st.integers(min_value=1000, max_value=10**11))
+def test_tx_time_inverse_of_rate(nbytes, rate):
+    t = units.tx_time_ns(nbytes, rate)
+    # Round-trip: the implied rate is never higher than requested (ceil).
+    assert t >= nbytes * 8 * units.SEC / rate - 1
+    assert t <= nbytes * 8 * units.SEC / rate + 1
+
+
+@given(st.integers(min_value=0, max_value=10**12))
+def test_bytes_per_ns_consistent(duration):
+    rate = units.mbit(40)
+    b = units.bytes_per_ns(rate, duration)
+    assert b * 8 * units.SEC <= rate * duration + 8 * units.SEC
