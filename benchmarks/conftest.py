@@ -7,6 +7,8 @@ hardware; simulation defaults are smaller):
 * ``REPRO_SCALE_MIB``  — file size per transfer (default 4)
 * ``REPRO_REPS``       — repetitions per configuration (default 3)
 * ``REPRO_SEED``       — base seed (default 1)
+* ``REPRO_CACHE_DIR``  — on-disk result cache (default ~/.cache/repro)
+* ``REPRO_NO_CACHE``   — set to 1 to force recomputation
 
 Outputs are printed and archived under ``benchmarks/output/``.
 """
@@ -15,9 +17,11 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
+from typing import Optional
 
 import pytest
 
+from repro.framework.cache import ResultCache
 from repro.framework.config import ExperimentConfig
 from repro.framework.runner import RunSummary, run_repetitions
 from repro.units import mib
@@ -25,6 +29,7 @@ from repro.units import mib
 SCALE_MIB = float(os.environ.get("REPRO_SCALE_MIB", "4"))
 REPS = int(os.environ.get("REPRO_REPS", "3"))
 SEED = int(os.environ.get("REPRO_SEED", "1"))
+NO_CACHE = os.environ.get("REPRO_NO_CACHE", "") not in ("", "0")
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
@@ -37,21 +42,30 @@ def scaled(**kwargs) -> ExperimentConfig:
 
 
 class RunCache:
-    """Session-wide cache so shared configurations run once."""
+    """Session-wide cache backed by the persistent disk store.
 
-    def __init__(self) -> None:
+    Shared configurations run at most once per session, and not at all when
+    a previous benchmark session already computed them — the disk cache
+    (keyed by :meth:`ExperimentConfig.cache_key`, which covers *every*
+    config field, unlike the old hand-built string key) serves completed
+    repetitions back, so a repeated session is near-instant. Set
+    ``REPRO_NO_CACHE=1`` to force fresh simulations.
+    """
+
+    def __init__(self, disk: Optional[ResultCache] = None) -> None:
         self._runs: dict[str, RunSummary] = {}
+        self.disk = disk
 
     def get(self, config: ExperimentConfig) -> RunSummary:
-        key = f"{config.label}|{config.file_size}|{config.repetitions}|{config.seed}|{config.trace_cwnd}"
+        key = config.cache_key()
         if key not in self._runs:
-            self._runs[key] = run_repetitions(config)
+            self._runs[key] = run_repetitions(config, cache=self.disk)
         return self._runs[key]
 
 
 @pytest.fixture(scope="session")
 def runs() -> RunCache:
-    return RunCache()
+    return RunCache(disk=None if NO_CACHE else ResultCache())
 
 
 def publish(name: str, text: str) -> None:

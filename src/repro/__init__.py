@@ -12,9 +12,11 @@ Quick start::
     print(summary.describe())
 """
 
+from repro.framework.cache import ResultCache
 from repro.framework.config import ExperimentConfig, NetworkConfig
 from repro.framework.experiment import Experiment, ExperimentResult, run_experiment
-from repro.framework.runner import RunSummary, run_repetitions
+from repro.framework.runner import RunSummary, derive_seed, run_repetitions
+from repro.framework.sweep import SweepRunner, run_sweep
 from repro.framework import scenarios
 from repro.metrics import (
     cdf,
@@ -35,8 +37,12 @@ __all__ = [
     "Experiment",
     "ExperimentResult",
     "run_experiment",
+    "ResultCache",
     "RunSummary",
+    "SweepRunner",
+    "derive_seed",
     "run_repetitions",
+    "run_sweep",
     "scenarios",
     "cdf",
     "fraction_leq",

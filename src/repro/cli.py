@@ -3,6 +3,7 @@
 Commands:
 
 * ``run``      — run one configuration and print the paper metrics;
+* ``sweep``    — run a whole scenario grid in parallel with result caching;
 * ``compete``  — run several flows against each other over one bottleneck;
 * ``analyze``  — run the paper's evaluation pipeline on a capture CSV
   (including captures exported with ``run --capture`` or converted from the
@@ -16,12 +17,19 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.framework.cache import ResultCache
 from repro.framework.config import ExperimentConfig, GSO_MODES, QDISCS, STACKS
 from repro.framework.multiflow import FlowSpec, MultiFlowExperiment
 from repro.framework.runner import run_repetitions
-from repro.metrics.gaps import fraction_leq, inter_packet_gaps
+from repro.framework.sweep import SweepRunner
+from repro.metrics.gaps import fraction_leq, inter_packet_gaps, pooled_gaps
 from repro.metrics.report import render_histogram, render_table
-from repro.metrics.trains import fraction_of_packets_in_trains_leq, packets_by_train_length
+from repro.metrics.trains import (
+    fraction_of_packets_in_trains_leq,
+    packets_by_train_length,
+    pooled_fraction_of_packets_in_trains_leq,
+    pooled_packets_by_train_length,
+)
 from repro.units import fmt_time, mib, us
 
 
@@ -31,6 +39,26 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--gso", default="off", choices=GSO_MODES)
     parser.add_argument("--size-mib", type=float, default=4.0, help="file size in MiB")
     parser.add_argument("--seed", type=int, default=1)
+
+
+def _add_exec(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: all cores; 1 forces serial in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="result cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="recompute everything, touch no cache"
+    )
+
+
+def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -45,18 +73,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     config.validate()
+    cache = _make_cache(args)
     print(f"running {config.label} x{config.repetitions} ...")
-    summary = run_repetitions(config)
+    summary = run_repetitions(config, workers=args.workers, cache=cache, stream=sys.stderr)
     print(summary.describe())
 
-    records = summary.results[0].server_records
-    gaps = inter_packet_gaps(records)
-    print(f"back-to-back share: {fraction_leq(gaps, us(15)) * 100:.1f}%")
+    # Pool distribution metrics over all repetitions (gaps/trains are computed
+    # per repetition so they never straddle repetition boundaries), as the
+    # paper combines all repetitions per setting. Reporting repetition 0 alone
+    # misrepresents the run whenever repetitions differ.
+    groups = summary.pooled_records
+    gaps = pooled_gaps(groups)
+    reps = len(groups)
     print(
-        f"packets in trains <= 5: "
-        f"{fraction_of_packets_in_trains_leq(records, 5) * 100:.1f}%"
+        f"back-to-back share (pooled, {reps} reps): "
+        f"{fraction_leq(gaps, us(15)) * 100:.1f}%"
     )
-    print(render_histogram(packets_by_train_length(records), title="train lengths (rep 0)"))
+    print(
+        f"packets in trains <= 5 (pooled, {reps} reps): "
+        f"{pooled_fraction_of_packets_in_trains_leq(groups, 5) * 100:.1f}%"
+    )
+    print(
+        render_histogram(
+            pooled_packets_by_train_length(groups),
+            title=f"train lengths (pooled, {reps} reps)",
+        )
+    )
+    if cache is not None:
+        print(f"cache: {cache.stats}", file=sys.stderr)
 
     if args.json:
         from repro.framework.artifacts import save_summary
@@ -66,8 +110,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.capture:
         from repro.metrics.capture_io import save_capture
 
-        path = save_capture(records, args.capture)
-        print(f"saved capture {path}")
+        path = save_capture(summary.results[0].server_records, args.capture)
+        print(f"saved capture (rep 0) {path}")
+    return 0
+
+
+def _sweep_grid(args: argparse.Namespace) -> dict:
+    from repro.framework import scenarios
+
+    scale = dict(
+        file_size=int(args.size_mib * 1024 * 1024),
+        repetitions=args.reps,
+        seed=args.seed,
+    )
+    if args.grid == "baselines":
+        return scenarios.all_baselines(**scale)
+    if args.grid == "cca":
+        return scenarios.cca_sweep(args.stack, **scale)
+    if args.grid == "gso":
+        return {f"gso-{mode}": scenarios.quiche_gso(mode, **scale) for mode in GSO_MODES}
+    if args.grid == "precision":
+        return {
+            qdisc: scenarios.precision_config(qdisc, **scale)
+            for qdisc in ("none", "fq", "etf", "etf-offload")
+        }
+    return scenarios.network_sweep(**scale)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    cache = _make_cache(args)
+    grid = _sweep_grid(args)
+    print(f"sweeping {len(grid)} configurations x{args.reps} reps ...")
+    runner = SweepRunner(workers=args.workers, cache=cache, stream=sys.stderr)
+    summaries = runner.run(grid)
+
+    rows = []
+    for name, summary in summaries.items():
+        groups = summary.pooled_records
+        rows.append(
+            [
+                name,
+                summary.config.label,
+                str(summary.goodput),
+                str(summary.dropped),
+                f"{fraction_leq(pooled_gaps(groups), us(15)) * 100:.1f}%",
+                f"{pooled_fraction_of_packets_in_trains_leq(groups, 5) * 100:.1f}%",
+            ]
+        )
+    print(
+        render_table(
+            ["name", "config", "goodput [Mbit/s]", "dropped", "b2b share", "trains<=5"],
+            rows,
+            title=f"sweep: {args.grid} (metrics pooled over {args.reps} reps)",
+        )
+    )
+    if cache is not None:
+        print(f"cache: {cache.stats}", file=sys.stderr)
     return 0
 
 
@@ -159,7 +257,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument("--json", metavar="PATH", help="save results as JSON")
     run_p.add_argument("--capture", metavar="PATH", help="save the capture as CSV")
+    _add_exec(run_p)
     run_p.set_defaults(func=_cmd_run)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a scenario grid in parallel with result caching"
+    )
+    sweep_p.add_argument(
+        "grid", choices=("baselines", "cca", "gso", "precision", "network")
+    )
+    sweep_p.add_argument(
+        "--stack", default="quiche", choices=STACKS, help="stack for the cca grid"
+    )
+    sweep_p.add_argument("--size-mib", type=float, default=4.0, help="file size in MiB")
+    sweep_p.add_argument("--reps", type=int, default=3)
+    sweep_p.add_argument("--seed", type=int, default=1)
+    _add_exec(sweep_p)
+    sweep_p.set_defaults(func=_cmd_sweep)
 
     analyze_p = sub.add_parser("analyze", help="analyze a capture CSV")
     analyze_p.add_argument("capture", help="capture CSV (see repro.metrics.capture_io)")

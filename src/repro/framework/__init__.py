@@ -1,15 +1,25 @@
 """Measurement framework: reproducible single-connection experiments over the
-emulated testbed, with repetition and aggregation (paper Section 3)."""
+emulated testbed, with repetition and aggregation (paper Section 3), parallel
+grid fan-out, and persistent result caching."""
 
+from repro.framework.cache import CACHE_VERSION, CacheStats, ResultCache, default_cache_dir
 from repro.framework.config import ExperimentConfig, NetworkConfig
 from repro.framework.experiment import Experiment, ExperimentResult
-from repro.framework.runner import run_repetitions, RunSummary
+from repro.framework.runner import RunSummary, derive_seed, run_repetitions
+from repro.framework.sweep import SweepRunner, run_sweep
 
 __all__ = [
+    "CACHE_VERSION",
+    "CacheStats",
     "ExperimentConfig",
     "NetworkConfig",
     "Experiment",
     "ExperimentResult",
-    "run_repetitions",
+    "ResultCache",
     "RunSummary",
+    "SweepRunner",
+    "default_cache_dir",
+    "derive_seed",
+    "run_repetitions",
+    "run_sweep",
 ]

@@ -1,0 +1,139 @@
+"""Persistent on-disk cache for experiment results.
+
+Full-grid reproduction (4 stacks × 3 CCAs × 4 qdiscs × 3 GSO modes × 20
+repetitions) is only practical when completed simulations are reused across
+sessions, so every repetition can be stored under a content-addressed key and
+served back instead of recomputed.
+
+Keying. Entries are stored per *repetition*: the key hashes the complete
+configuration via :meth:`ExperimentConfig.cache_key` (every field, nested
+network config included) with ``repetitions`` normalized out, plus the
+repetition's derived seed. Normalizing ``repetitions`` means growing a sweep
+from 5 to 20 repetitions reuses the first 5 instead of recomputing them — the
+per-rep seed already encodes everything rep-specific.
+
+Layout and robustness. Entries live under ``<root>/<key[:2]>/<key>.pkl``
+(``~/.cache/repro`` by default, overridable with ``$REPRO_CACHE_DIR`` or an
+explicit root). Each file is a pickle of ``(CACHE_VERSION, result)``; an
+entry with a stale version or one that fails to unpickle is *evicted* (the
+file is deleted) and treated as a miss, so format changes and torn writes
+degrade to recomputation, never to wrong results. Writes go through a
+temporary file and ``os.replace`` so concurrent workers can share one cache
+directory. Hit/miss/store/eviction counters are kept on :attr:`stats`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.framework.config import ExperimentConfig
+from repro.framework.experiment import ExperimentResult
+
+#: Bump whenever the on-disk entry format or ``ExperimentResult`` shape
+#: changes incompatibly; older entries are evicted on first touch.
+CACHE_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits} hits, {self.misses} misses, "
+            f"{self.stores} stores, {self.evictions} evictions"
+        )
+
+
+class ResultCache:
+    """Content-addressed store of :class:`ExperimentResult` pickles."""
+
+    def __init__(
+        self, root: Optional[Union[str, Path]] = None, version: int = CACHE_VERSION
+    ):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.version = version
+        self.stats = CacheStats()
+
+    @staticmethod
+    def entry_key(config: ExperimentConfig, seed: int) -> str:
+        """Per-repetition key: full config (repetitions normalized) + seed."""
+        per_rep = replace(config, repetitions=1)
+        return hashlib.sha256(f"{per_rep.cache_key()}/{seed}".encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, config: ExperimentConfig, seed: int) -> Optional[ExperimentResult]:
+        """The stored result for (config, seed), or None on miss/stale/corrupt."""
+        path = self._path(self.entry_key(config, seed))
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            version, result = pickle.loads(payload)
+            if version != self.version or not isinstance(result, ExperimentResult):
+                raise ValueError(f"stale cache entry (version {version!r})")
+        except Exception:
+            self._evict(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, config: ExperimentConfig, seed: int, result: ExperimentResult) -> Path:
+        """Store one repetition's result atomically; returns the entry path."""
+        path = self._path(self.entry_key(config, seed))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump((self.version, result), handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.stats.evictions += 1
+
+    def __repr__(self) -> str:
+        return f"ResultCache(root={str(self.root)!r}, version={self.version}, {self.stats})"

@@ -8,7 +8,9 @@ simulation speed — see EXPERIMENTS.md) repeated N times.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
 from repro.errors import ConfigError
@@ -113,6 +115,18 @@ class ExperimentConfig:
         if self.spurious_rollback is False:
             parts.append("sf")
         return "/".join(parts)
+
+    def cache_key(self) -> str:
+        """Stable content hash over *all* fields (nested configs included).
+
+        Every field participates automatically via ``dataclasses.asdict``, so
+        adding a field can never silently alias two different configurations
+        (the failure mode of hand-built label/field-list keys). The hash is a
+        plain sha256 over the sorted-JSON form — stable across processes and
+        sessions, independent of ``PYTHONHASHSEED``.
+        """
+        payload = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
 
     def scaled(self, file_size: int, repetitions: Optional[int] = None) -> "ExperimentConfig":
         return replace(

@@ -14,6 +14,7 @@ server's pacing, not the shaper's.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -27,6 +28,7 @@ from repro.metrics.goodput import goodput_mbps
 from repro.net.bottleneck import Bottleneck
 from repro.net.link import Link
 from repro.net.nic import Nic
+from repro.net.packet import reset_dgram_ids
 from repro.net.tap import CaptureRecord, FiberTap, Sniffer
 from repro.pacing.gso_policy import GsoPolicy
 from repro.quic import h3
@@ -63,6 +65,10 @@ class ExperimentResult:
     server_stats: dict = field(default_factory=dict)
     #: Per-object completion times relative to the request (multi-object runs).
     object_completion_ns: dict = field(default_factory=dict)
+    #: Execution observability (progress/throughput reporting, not metrics):
+    #: simulator events fired and host wall-clock seconds for this repetition.
+    events_processed: int = 0
+    wall_time_s: float = 0.0
 
     @property
     def packets_on_wire(self) -> int:
@@ -79,6 +85,10 @@ class Experiment:
         self.rngs = RngRegistry(self.seed)
         self.sim = Simulator()
         self.sniffer = Sniffer()
+        # Datagram ids must be a pure function of this run, not of earlier
+        # experiments in the same process (bit-identical serial/parallel/
+        # cached results depend on it).
+        reset_dgram_ids()
         self._build()
 
     # -- assembly ------------------------------------------------------------
@@ -290,6 +300,7 @@ class Experiment:
     # -- run -----------------------------------------------------------------
 
     def run(self) -> ExperimentResult:
+        wall_start = time.perf_counter()
         cfg = self.config
         if cfg.stack == "tcp":
             self.tcp_sender.start()
@@ -336,6 +347,8 @@ class Experiment:
             qdisc_stats=self.qdisc.stats.as_dict(),
             server_stats=server_stats,
             object_completion_ns=object_times,
+            events_processed=self.sim.events_processed,
+            wall_time_s=time.perf_counter() - wall_start,
         )
 
     def _server_stats(self) -> dict:

@@ -30,6 +30,7 @@ from repro.net.bottleneck import Bottleneck
 from repro.net.demux import PortDemux
 from repro.net.link import Link
 from repro.net.nic import Nic
+from repro.net.packet import reset_dgram_ids
 from repro.net.tap import CaptureRecord, FiberTap, Sniffer
 from repro.pacing.gso_policy import GsoPolicy
 from repro.quic import h3
@@ -146,6 +147,7 @@ class MultiFlowExperiment:
         self.rngs = RngRegistry(seed)
         self.sniffer = Sniffer()
         self._flows: List[_Flow] = []
+        reset_dgram_ids()
         self._build()
 
     # -- assembly ------------------------------------------------------------

@@ -2,22 +2,43 @@
 pool capture records for distribution metrics (as the paper combines all
 repetitions before computing gap/train distributions).
 
-Repetitions are independent simulations, so ``workers > 1`` fans them out to
-a process pool; results are identical to a serial run (seeds are derived the
-same way) but wall time divides by the worker count — useful for full-scale
-(100 MiB x 20) reproduction runs.
+Repetitions are independent simulations, so they fan out to a process pool by
+default (``workers=None`` uses ``os.cpu_count()``); results are bit-identical
+to a serial run (seeds are derived the same way) but wall time divides by the
+worker count — useful for full-scale (100 MiB x 20) reproduction runs. Pass
+``workers=1`` to force the in-process serial path (no subprocesses, easier to
+debug/profile), and a :class:`~repro.framework.cache.ResultCache` to reuse
+completed repetitions across sessions.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import List, Optional
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, TextIO, TYPE_CHECKING
 
 from repro.framework.config import ExperimentConfig
 from repro.framework.experiment import Experiment, ExperimentResult
 from repro.metrics.stats import Summary, summarize
 from repro.net.tap import CaptureRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.framework.cache import ResultCache
+
+
+def derive_seed(base_seed: int, rep: int) -> int:
+    """Per-repetition seed: a stable 64-bit mix of ``(base_seed, rep)``.
+
+    The former linear derivation (``base_seed * 1000 + rep``) collided across
+    base seeds — seed 1 / rep 1000 equalled seed 2 / rep 0, so overlapping
+    sweeps silently reran identical simulations as "independent" repetitions.
+    Hashing the pair keeps every (seed, rep) combination distinct (the
+    ``{base}/{rep}`` encoding is injective, so collisions require a blake2b
+    collision) and is stable across processes, sessions, and
+    ``PYTHONHASHSEED``.
+    """
+    digest = hashlib.blake2b(f"{base_seed}/{rep}".encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
 
 
 @dataclass
@@ -43,24 +64,40 @@ class RunSummary:
         )
 
 
-def _run_one(config: ExperimentConfig, seed: int) -> ExperimentResult:
-    return Experiment(config, seed=seed).run()
-
-
-def run_repetitions(config: ExperimentConfig, workers: Optional[int] = None) -> RunSummary:
-    """Run ``config.repetitions`` measurements with derived per-rep seeds.
-
-    ``workers > 1`` parallelizes across processes with identical results.
-    """
-    seeds = [config.seed * 1000 + rep for rep in range(config.repetitions)]
-    if workers is not None and workers > 1 and config.repetitions > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_run_one, [config] * len(seeds), seeds))
-    else:
-        results = [_run_one(config, seed) for seed in seeds]
+def summarize_results(
+    config: ExperimentConfig, results: Sequence[ExperimentResult]
+) -> RunSummary:
+    """Aggregate per-repetition results into the paper's mean ± std summary."""
+    results = list(results)
     return RunSummary(
         config=config,
         results=results,
         goodput=summarize([r.goodput_mbps for r in results]),
         dropped=summarize([float(r.dropped) for r in results]),
     )
+
+
+def _run_one(config: ExperimentConfig, seed: int) -> ExperimentResult:
+    return Experiment(config, seed=seed).run()
+
+
+def run_repetitions(
+    config: ExperimentConfig,
+    workers: Optional[int] = None,
+    cache: Optional["ResultCache"] = None,
+    stream: Optional[TextIO] = None,
+) -> RunSummary:
+    """Run ``config.repetitions`` measurements with derived per-rep seeds.
+
+    ``workers=None`` defaults to ``os.cpu_count()``; one worker (or a single
+    pending repetition) falls back to running serially in-process instead of
+    spawning a pool. Serial and parallel runs are bit-identical. ``cache``
+    serves previously-computed repetitions from disk; ``stream`` receives one
+    structured progress line per finished repetition.
+    """
+    from repro.framework.sweep import SweepRunner
+
+    summaries = SweepRunner(workers=workers, cache=cache, stream=stream).run(
+        {config.label: config}
+    )
+    return summaries[config.label]

@@ -1,0 +1,136 @@
+"""Parallel sweep execution: fan a ``{name: ExperimentConfig}`` grid across a
+shared process pool at per-repetition granularity.
+
+This is the execution substrate for grid-style reproduction (the paper's
+4 stacks × 3 CCAs × 4 qdiscs × 3 GSO modes evaluation): every (config,
+repetition) pair is an independent simulation, so one shared
+``ProcessPoolExecutor`` schedules all of them at once and keeps every core
+busy even when configurations have very different run times. Results are
+bit-identical to a serial run — per-rep seeds come from
+:func:`~repro.framework.runner.derive_seed` either way, and repetitions are
+reassembled in order regardless of completion order.
+
+A :class:`~repro.framework.cache.ResultCache` short-circuits repetitions that
+a previous session already computed; fresh results are stored back so the
+next session starts warm. Progress is streamed as one structured line per
+finished repetition (config label, rep, sim-time, wall-time, events/sec from
+``Simulator.events_processed``), conventionally to stderr so stdout stays a
+clean report.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, List, Mapping, Optional, TextIO
+
+from repro.framework.cache import ResultCache
+from repro.framework.config import ExperimentConfig
+from repro.framework.experiment import ExperimentResult
+from repro.framework.runner import RunSummary, _run_one, derive_seed, summarize_results
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """``None`` means "use every core"; anything below one clamps to serial."""
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+class SweepRunner:
+    """Runs experiment grids with caching, parallel fan-out, and progress.
+
+    ``workers=None`` uses ``os.cpu_count()``. With one worker — or a single
+    pending repetition — execution falls back to the serial in-process path
+    (no subprocesses), which is byte-for-byte equivalent and simpler to
+    debug. ``stream`` (e.g. ``sys.stderr``) receives one progress line per
+    finished repetition.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        stream: Optional[TextIO] = None,
+    ):
+        self.workers = resolve_workers(workers)
+        self.cache = cache
+        self.stream = stream
+
+    def run(self, grid: Mapping[str, ExperimentConfig]) -> Dict[str, RunSummary]:
+        """Run every repetition of every named config; summaries keep grid order."""
+        for config in grid.values():
+            config.validate()
+        slots: Dict[str, List[Optional[ExperimentResult]]] = {
+            name: [None] * config.repetitions for name, config in grid.items()
+        }
+        pending = []  # (name, config, rep, seed) still to simulate
+        for name, config in grid.items():
+            for rep in range(config.repetitions):
+                seed = derive_seed(config.seed, rep)
+                cached = self.cache.get(config, seed) if self.cache else None
+                if cached is not None:
+                    slots[name][rep] = cached
+                    self._emit(name, config, rep, cached, cached_hit=True)
+                else:
+                    pending.append((name, config, rep, seed))
+
+        if len(pending) > 1 and self.workers > 1:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = {
+                    pool.submit(_run_one, config, seed): (name, config, rep)
+                    for name, config, rep, seed in pending
+                }
+                for future in as_completed(futures):
+                    name, config, rep = futures[future]
+                    self._finish(slots, name, config, rep, future.result())
+        else:
+            for name, config, rep, seed in pending:
+                self._finish(slots, name, config, rep, _run_one(config, seed))
+
+        return {
+            name: summarize_results(config, slots[name]) for name, config in grid.items()
+        }
+
+    def _finish(
+        self,
+        slots: Dict[str, List[Optional[ExperimentResult]]],
+        name: str,
+        config: ExperimentConfig,
+        rep: int,
+        result: ExperimentResult,
+    ) -> None:
+        slots[name][rep] = result
+        if self.cache is not None:
+            self.cache.put(config, result.seed, result)
+        self._emit(name, config, rep, result, cached_hit=False)
+
+    def _emit(
+        self,
+        name: str,
+        config: ExperimentConfig,
+        rep: int,
+        result: ExperimentResult,
+        cached_hit: bool,
+    ) -> None:
+        if self.stream is None:
+            return
+        rate = result.events_processed / result.wall_time_s if result.wall_time_s > 0 else 0.0
+        line = (
+            f"[sweep] {name} rep {rep + 1}/{config.repetitions}: "
+            f"sim {result.duration_ns / 1e9:.2f}s wall {result.wall_time_s:.2f}s "
+            f"{result.events_processed} events ({rate:,.0f}/s)"
+        )
+        if cached_hit:
+            line += " [cached]"
+        print(line, file=self.stream, flush=True)
+
+
+def run_sweep(
+    grid: Mapping[str, ExperimentConfig],
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    stream: Optional[TextIO] = None,
+) -> Dict[str, RunSummary]:
+    """Convenience wrapper: build a :class:`SweepRunner` and run ``grid``."""
+    return SweepRunner(workers=workers, cache=cache, stream=stream).run(grid)

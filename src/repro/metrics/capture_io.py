@@ -61,7 +61,16 @@ def _opt_int(value: str) -> Optional[int]:
     return int(value) if value not in ("", None) else None
 
 
-def load_capture(path: str | Path) -> List[CaptureRecord]:
+def load_capture(path: str | Path, strict: bool = False) -> List[CaptureRecord]:
+    """Load a capture CSV; rows are sorted by ``time_ns``.
+
+    tshark exports are not guaranteed monotone (reordered frames, merged
+    multi-interface captures), and unordered rows would produce negative
+    inter-packet gaps downstream, silently corrupting every distribution
+    metric. By default out-of-order rows are sorted into timestamp order;
+    with ``strict=True`` they raise instead, for pipelines where disorder
+    indicates a broken export.
+    """
     path = Path(path)
     records: List[CaptureRecord] = []
     with path.open(newline="") as handle:
@@ -74,6 +83,12 @@ def load_capture(path: str | Path) -> List[CaptureRecord]:
                 wire_size = int(row.get("wire_size") or 0)
             except (TypeError, ValueError) as exc:
                 raise ConfigError(f"{path}: bad row {i + 2}: {exc}") from exc
+            if strict and records and time_ns < records[-1].time_ns:
+                raise ConfigError(
+                    f"{path}: row {i + 2} is out of order "
+                    f"({time_ns} < {records[-1].time_ns}); "
+                    "re-export in timestamp order or load with strict=False"
+                )
             records.append(
                 CaptureRecord(
                     time_ns=time_ns,

@@ -14,6 +14,20 @@ def inter_packet_gaps(records: Sequence[CaptureRecord]) -> List[int]:
     ]
 
 
+def pooled_gaps(groups: Sequence[Sequence[CaptureRecord]]) -> List[int]:
+    """Gaps pooled across capture groups (repetitions), computed per group.
+
+    The paper combines all repetitions before computing the gap distribution;
+    computing gaps within each group first ensures no gap straddles a
+    repetition boundary (those "gaps" would be meaningless wall-clock deltas
+    between independent simulations).
+    """
+    out: List[int] = []
+    for records in groups:
+        out.extend(inter_packet_gaps(records))
+    return out
+
+
 def cdf(values: Sequence[float], points: int = 200) -> Tuple[List[float], List[float]]:
     """Empirical CDF sampled at ``points`` quantiles: returns (xs, ps)."""
     if not values:

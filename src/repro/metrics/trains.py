@@ -57,3 +57,31 @@ def fraction_of_packets_in_trains_leq(
     if total == 0:
         return 0.0
     return sum(count for length, count in dist.items() if length <= max_length) / total
+
+
+def pooled_packets_by_train_length(
+    groups: Sequence[Sequence[CaptureRecord]],
+    threshold_ns: int = TRAIN_GAP_THRESHOLD_NS,
+) -> Dict[int, int]:
+    """Train-length distribution pooled across groups (repetitions).
+
+    Trains are detected within each group, so no train spans a repetition
+    boundary — matching the paper's pooling of all repetitions per setting.
+    """
+    counts: Counter[int] = Counter()
+    for records in groups:
+        counts.update(packets_by_train_length(records, threshold_ns))
+    return dict(counts)
+
+
+def pooled_fraction_of_packets_in_trains_leq(
+    groups: Sequence[Sequence[CaptureRecord]],
+    max_length: int,
+    threshold_ns: int = TRAIN_GAP_THRESHOLD_NS,
+) -> float:
+    """Pooled-across-repetitions variant of :func:`fraction_of_packets_in_trains_leq`."""
+    dist = pooled_packets_by_train_length(groups, threshold_ns)
+    total = sum(dist.values())
+    if total == 0:
+        return 0.0
+    return sum(count for length, count in dist.items() if length <= max_length) / total

@@ -21,6 +21,21 @@ WIRE_FRAMING = 24
 
 _dgram_ids = itertools.count()
 
+
+def reset_dgram_ids() -> None:
+    """Restart the datagram id sequence.
+
+    Ids come from a process-wide counter, so without a reset they depend on
+    how many datagrams the process created *before* an experiment — a prior
+    run in the same interpreter would shift every ``dgram_id`` (and the
+    capture records built from them), breaking bit-identical comparisons
+    between serial, parallel, and cached executions. Each experiment resets
+    the sequence at construction so ids are a pure function of the run.
+    """
+    global _dgram_ids
+    _dgram_ids = itertools.count()
+
+
 FlowTuple = Tuple[str, int, str, int]
 
 

@@ -1,0 +1,99 @@
+"""On-disk result cache: identity on hit, versioning, corruption fallback."""
+
+import pickle
+
+import pytest
+
+from repro.framework.cache import CACHE_VERSION, ResultCache
+from repro.framework.config import ExperimentConfig
+from repro.framework.experiment import Experiment
+from repro.framework.runner import derive_seed, run_repetitions
+from repro.units import kib
+
+CFG = ExperimentConfig(stack="quiche", file_size=kib(150), repetitions=1)
+
+
+@pytest.fixture
+def result():
+    return Experiment(CFG, seed=derive_seed(CFG.seed, 0)).run()
+
+
+def _entry_path(cache, config, seed):
+    return cache._path(cache.entry_key(config, seed))
+
+
+def test_hit_returns_identical_result(tmp_path, result):
+    cache = ResultCache(tmp_path)
+    assert cache.get(CFG, result.seed) is None  # cold
+    cache.put(CFG, result.seed, result)
+    loaded = cache.get(CFG, result.seed)
+    assert loaded == result  # dataclass equality covers records, traces, stats
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.stores == 1
+
+
+@pytest.mark.parametrize("field,value", [
+    ("seed", 2),
+    ("cca", "bbr"),
+    ("gso_segments", 11),
+    ("client_ack_threshold", 4),
+    ("trace_cwnd", True),
+    ("ecn", True),
+])
+def test_any_config_field_changes_the_key(tmp_path, field, value):
+    import dataclasses
+
+    base = ResultCache.entry_key(CFG, 7)
+    changed = dataclasses.replace(CFG, **{field: value})
+    assert ResultCache.entry_key(changed, 7) != base
+
+
+def test_repetitions_normalized_out_of_key():
+    # Growing a sweep from 5 to 20 reps must reuse the first 5 entries.
+    short = ExperimentConfig(stack="quiche", repetitions=5)
+    long = ExperimentConfig(stack="quiche", repetitions=20)
+    assert ResultCache.entry_key(short, 7) == ResultCache.entry_key(long, 7)
+
+
+def test_version_bump_invalidates(tmp_path, result):
+    writer = ResultCache(tmp_path, version=CACHE_VERSION)
+    writer.put(CFG, result.seed, result)
+    reader = ResultCache(tmp_path, version=CACHE_VERSION + 1)
+    assert reader.get(CFG, result.seed) is None
+    assert reader.stats.evictions == 1
+    # The stale file is gone, so even the old version now misses.
+    assert not _entry_path(writer, CFG, result.seed).exists()
+
+
+def test_corrupted_entry_falls_back(tmp_path, result):
+    cache = ResultCache(tmp_path)
+    path = cache.put(CFG, result.seed, result)
+    path.write_bytes(b"not a pickle")
+    assert cache.get(CFG, result.seed) is None
+    assert cache.stats.evictions == 1
+    assert not path.exists()
+
+
+def test_wrong_payload_type_rejected(tmp_path, result):
+    cache = ResultCache(tmp_path)
+    path = cache.put(CFG, result.seed, result)
+    path.write_bytes(pickle.dumps((CACHE_VERSION, "not a result")))
+    assert cache.get(CFG, result.seed) is None
+    assert cache.stats.evictions == 1
+
+
+def test_run_repetitions_served_from_cache(tmp_path):
+    cfg = ExperimentConfig(stack="quiche", file_size=kib(150), repetitions=2)
+    cache = ResultCache(tmp_path)
+    cold = run_repetitions(cfg, workers=1, cache=cache)
+    assert cache.stats.stores == 2 and cache.stats.hits == 0
+    warm = run_repetitions(cfg, workers=1, cache=cache)
+    assert cache.stats.hits == 2
+    assert warm.results == cold.results
+    assert warm.goodput == cold.goodput
+    # A cache shared with an uncached run stays bit-identical.
+    fresh = run_repetitions(cfg, workers=1, cache=None)
+    assert [r.goodput_mbps for r in fresh.results] == [
+        r.goodput_mbps for r in cold.results
+    ]

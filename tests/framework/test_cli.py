@@ -15,21 +15,61 @@ def test_parser_rejects_unknown_stack():
 def test_run_command(capsys, tmp_path):
     out_json = tmp_path / "r.json"
     rc = main(
-        ["run", "quiche", "--size-mib", "0.25", "--seed", "3", "--json", str(out_json)]
+        ["run", "quiche", "--size-mib", "0.25", "--seed", "3", "--json", str(out_json),
+         "--cache-dir", str(tmp_path / "cache")]
     )
     assert rc == 0
-    out = capsys.readouterr().out
+    captured = capsys.readouterr()
+    out = captured.out
     assert "quiche/cubic" in out
     assert "goodput" in out
-    assert "back-to-back share" in out
+    assert "back-to-back share (pooled, 1 reps)" in out
+    assert "train lengths (pooled, 1 reps)" in out
+    assert "[sweep] quiche/cubic rep 1/1" in captured.err
     data = json.loads(out_json.read_text())
     assert data["label"] == "quiche/cubic"
 
 
+def test_run_pools_metrics_across_reps(capsys, tmp_path):
+    rc = main(
+        ["run", "quiche", "--size-mib", "0.25", "--reps", "2",
+         "--cache-dir", str(tmp_path / "cache")]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "back-to-back share (pooled, 2 reps)" in out
+    assert "packets in trains <= 5 (pooled, 2 reps)" in out
+
+
+def test_run_cache_roundtrip(capsys, tmp_path):
+    argv = ["run", "quiche", "--size-mib", "0.25", "--cache-dir", str(tmp_path / "c")]
+    assert main(argv) == 0
+    cold = capsys.readouterr()
+    assert "1 stores" in cold.err
+    assert main(argv) == 0
+    warm = capsys.readouterr()
+    assert "[cached]" in warm.err
+    # The pooled report is byte-identical when served from the cache.
+    assert warm.out == cold.out
+
+
 def test_run_with_sf_flag(capsys):
-    rc = main(["run", "quiche", "--size-mib", "0.25", "--sf"])
+    rc = main(["run", "quiche", "--size-mib", "0.25", "--sf", "--no-cache"])
     assert rc == 0
     assert "quiche/cubic/sf" in capsys.readouterr().out
+
+
+def test_sweep_command(capsys, tmp_path):
+    rc = main(
+        ["sweep", "baselines", "--size-mib", "0.25", "--reps", "1",
+         "--cache-dir", str(tmp_path / "cache"), "--workers", "2"]
+    )
+    assert rc == 0
+    captured = capsys.readouterr()
+    for name in ("quiche", "picoquic", "ngtcp2", "tcp"):
+        assert name in captured.out
+    assert "b2b share" in captured.out
+    assert "cache: 0 hits, 4 misses, 4 stores" in captured.err
 
 
 def test_compete_command(capsys):

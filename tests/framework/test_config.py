@@ -48,6 +48,25 @@ class TestExperimentConfig:
         assert scaled.repetitions == 2
         assert cfg.file_size == mib(8)  # original untouched
 
+    def test_cache_key_is_stable_and_complete(self):
+        import dataclasses
+
+        cfg = ExperimentConfig()
+        assert cfg.cache_key() == ExperimentConfig().cache_key()
+        # Every field — including ones the old hand-built benchmark key
+        # missed (qdisc, gso, ack overrides, the nested network config) —
+        # must perturb the key.
+        for field, value in [
+            ("qdisc", "fq"),
+            ("gso", "on"),
+            ("client_ack_threshold", 4),
+            ("bucket_packets", 16),
+            ("ecn", True),
+            ("network", NetworkConfig(bottleneck_rate_bps=mbit(10))),
+        ]:
+            changed = dataclasses.replace(cfg, **{field: value})
+            assert changed.cache_key() != cfg.cache_key(), field
+
 
 def test_scenarios_cover_paper_experiments():
     from repro.framework import scenarios

@@ -40,6 +40,22 @@ def test_records_sorted_by_time(tmp_path):
     path.write_text("time_ns,wire_size\n5000,100\n1000,100\n3000,100\n")
     loaded = load_capture(path)
     assert [r.time_ns for r in loaded] == [1000, 3000, 5000]
+    # The point of sorting: downstream gaps stay non-negative.
+    assert all(g >= 0 for g in inter_packet_gaps(loaded))
+
+
+def test_strict_rejects_unordered_rows(tmp_path):
+    path = tmp_path / "unsorted.csv"
+    path.write_text("time_ns,wire_size\n5000,100\n1000,100\n")
+    with pytest.raises(ConfigError, match="row 3 is out of order"):
+        load_capture(path, strict=True)
+
+
+def test_strict_accepts_ordered_rows(tmp_path):
+    path = tmp_path / "sorted.csv"
+    path.write_text("time_ns,wire_size\n1000,100\n1000,100\n5000,100\n")
+    loaded = load_capture(path, strict=True)
+    assert [r.time_ns for r in loaded] == [1000, 1000, 5000]
 
 
 def test_float_times_accepted(tmp_path):
