@@ -41,6 +41,76 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1)
 
 
+def _add_impairments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "impairments", "seeded fault injection on the data path (composable, in order)"
+    )
+    group.add_argument(
+        "--loss", type=float, metavar="RATE",
+        help="i.i.d. packet loss probability, e.g. 0.01",
+    )
+    group.add_argument(
+        "--burst-loss", metavar="[P_ENTER[,P_EXIT[,LOSS_BAD]]]",
+        nargs="?", const="", default=None,
+        help="Gilbert-Elliott burst loss; bare flag uses the dribble defaults "
+        "(0.003,0.3,1.0) that trigger quiche's rollback pathology",
+    )
+    group.add_argument(
+        "--reorder", metavar="RATE[,EXTRA_MS]", nargs="?", const="", default=None,
+        help="reordering: hold back RATE of packets by EXTRA_MS (default 0.01,4)",
+    )
+    group.add_argument(
+        "--duplicate", type=float, metavar="RATE",
+        help="packet duplication probability",
+    )
+    group.add_argument(
+        "--rate-flap", metavar="PERIOD_MS[,LOW_MBIT[,DUTY]]", nargs="?", const="",
+        default=None,
+        help="oscillate the bottleneck rate: nominal for DUTY of each PERIOD_MS, "
+        "LOW_MBIT for the rest (default 1000,10,0.5)",
+    )
+
+
+def _floats(raw: str, defaults: tuple) -> tuple:
+    """Parse ``a[,b[,c]]`` against positional defaults (empty string = all)."""
+    values = list(defaults)
+    if raw:
+        for i, part in enumerate(raw.split(",")):
+            if i >= len(values):
+                raise SystemExit(f"too many values in {raw!r} (max {len(values)})")
+            values[i] = float(part)
+    return tuple(values)
+
+
+def _impairments_from(args: argparse.Namespace) -> tuple:
+    from repro.net.impairments import (
+        burst_loss, duplication, iid_loss, rate_flap, reordering,
+    )
+    from repro.units import mbit, ms
+
+    specs = []
+    if args.loss is not None:
+        specs.append(iid_loss(args.loss))
+    if args.burst_loss is not None:
+        p_enter, p_exit, loss_bad = _floats(args.burst_loss, (0.003, 0.3, 1.0))
+        specs.append(burst_loss(p_enter=p_enter, p_exit=p_exit, loss_bad=loss_bad))
+    if args.reorder is not None:
+        rate, extra_ms = _floats(args.reorder, (0.01, 4.0))
+        specs.append(reordering(rate=rate, extra_delay_ns=int(ms(1) * extra_ms)))
+    if args.duplicate is not None:
+        specs.append(duplication(args.duplicate))
+    if args.rate_flap is not None:
+        period_ms, low_mbit, duty = _floats(args.rate_flap, (1000.0, 10.0, 0.5))
+        specs.append(
+            rate_flap(
+                low_rate_bps=int(mbit(1) * low_mbit),
+                period_ns=int(ms(1) * period_ms),
+                duty=duty,
+            )
+        )
+    return tuple(specs)
+
+
 def _add_exec(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=None,
@@ -62,6 +132,11 @@ def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.framework.config import NetworkConfig
+
+    network = replace(NetworkConfig(), forward_impairments=_impairments_from(args))
     config = ExperimentConfig(
         stack=args.stack,
         cca=args.cca,
@@ -71,12 +146,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         file_size=int(args.size_mib * 1024 * 1024),
         repetitions=args.reps,
         seed=args.seed,
+        network=network,
     )
     config.validate()
     cache = _make_cache(args)
     print(f"running {config.label} x{config.repetitions} ...")
     summary = run_repetitions(config, workers=args.workers, cache=cache, stream=sys.stderr)
     print(summary.describe())
+    injected = sum(r.injected_drops for r in summary.results)
+    if injected:
+        print(
+            f"injected drops (fault injection): {injected} across "
+            f"{len(summary.results)} reps — congestion drops reported above"
+        )
 
     # Pool distribution metrics over all repetitions (gaps/trains are computed
     # per repetition so they never straddle repetition boundaries), as the
@@ -134,6 +216,8 @@ def _sweep_grid(args: argparse.Namespace) -> dict:
             qdisc: scenarios.precision_config(qdisc, **scale)
             for qdisc in ("none", "fq", "etf", "etf-offload")
         }
+    if args.grid == "impairments":
+        return scenarios.impairment_sweep(**scale)
     return scenarios.network_sweep(**scale)
 
 
@@ -153,13 +237,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 summary.config.label,
                 str(summary.goodput),
                 str(summary.dropped),
+                str(sum(r.injected_drops for r in summary.results)),
                 f"{fraction_leq(pooled_gaps(groups), us(15)) * 100:.1f}%",
                 f"{pooled_fraction_of_packets_in_trains_leq(groups, 5) * 100:.1f}%",
             ]
         )
     print(
         render_table(
-            ["name", "config", "goodput [Mbit/s]", "dropped", "b2b share", "trains<=5"],
+            ["name", "config", "goodput [Mbit/s]", "dropped", "injected", "b2b share", "trains<=5"],
             rows,
             title=f"sweep: {args.grid} (metrics pooled over {args.reps} reps)",
         )
@@ -257,6 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument("--json", metavar="PATH", help="save results as JSON")
     run_p.add_argument("--capture", metavar="PATH", help="save the capture as CSV")
+    _add_impairments(run_p)
     _add_exec(run_p)
     run_p.set_defaults(func=_cmd_run)
 
@@ -264,7 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run a scenario grid in parallel with result caching"
     )
     sweep_p.add_argument(
-        "grid", choices=("baselines", "cca", "gso", "precision", "network")
+        "grid", choices=("baselines", "cca", "gso", "precision", "network", "impairments")
     )
     sweep_p.add_argument(
         "--stack", default="quiche", choices=STACKS, help="stack for the cca grid"

@@ -22,13 +22,18 @@ from repro.units import us
 def result_to_dict(result: ExperimentResult, include_capture: bool = False) -> Dict[str, Any]:
     """Serialize one repetition (capture records optional — they are big)."""
     gaps = inter_packet_gaps(result.server_records)
+    # asdict keeps tuples (e.g. the impairment specs); normalize to the JSON
+    # data model so an in-memory dict equals its save/load round trip.
+    config_dict = json.loads(json.dumps(dataclasses.asdict(result.config)))
     out = {
-        "config": dataclasses.asdict(result.config),
+        "config": config_dict,
         "seed": result.seed,
         "completed": result.completed,
         "duration_ns": result.duration_ns,
         "goodput_mbps": result.goodput_mbps,
         "dropped": result.dropped,
+        "injected_drops": result.injected_drops,
+        "impairment_stats": result.impairment_stats,
         "packets_on_wire": result.packets_on_wire,
         "qdisc_stats": result.qdisc_stats,
         "server_stats": result.server_stats,

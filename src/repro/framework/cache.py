@@ -37,7 +37,8 @@ from repro.framework.experiment import ExperimentResult
 
 #: Bump whenever the on-disk entry format or ``ExperimentResult`` shape
 #: changes incompatibly; older entries are evicted on first touch.
-CACHE_VERSION = 1
+#: v2: ExperimentResult gained injected_drops / impairment_stats.
+CACHE_VERSION = 2
 
 
 def default_cache_dir() -> Path:

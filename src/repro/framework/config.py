@@ -11,9 +11,10 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.errors import ConfigError
+from repro.net.impairments import ImpairmentSpec
 from repro.units import SEC, gbit, mbit, mib, ms, seconds, us
 
 STACKS = ("quiche", "picoquic", "ngtcp2", "tcp")
@@ -34,6 +35,28 @@ class NetworkConfig:
     wifi_phy_rate_bps: int = mbit(60)
     wifi_access_overhead_ns: int = us(400)
     wifi_max_aggregate: int = 32
+    #: Fault-injection stages on the data (server→client) path, applied
+    #: between the capture tap and the bottleneck, in order. Build specs with
+    #: the :mod:`repro.net.impairments` factories (``iid_loss``,
+    #: ``burst_loss``, ``reordering``, ``duplication``, ``rate_flap``).
+    forward_impairments: Tuple[ImpairmentSpec, ...] = ()
+    #: Fault-injection stages on the ACK (client→server) path.
+    reverse_impairments: Tuple[ImpairmentSpec, ...] = ()
+
+    def validate(self) -> None:
+        if self.bottleneck not in ("tbf", "wifi"):
+            raise ConfigError(
+                f"unknown bottleneck {self.bottleneck!r}; expected 'tbf' or 'wifi'"
+            )
+        for spec in (*self.forward_impairments, *self.reverse_impairments):
+            spec.validate()
+        for spec in self.reverse_impairments:
+            if spec.kind == "rate_flap":
+                raise ConfigError("rate_flap modulates the bottleneck; forward path only")
+        if self.bottleneck == "wifi" and any(
+            spec.kind == "rate_flap" for spec in self.forward_impairments
+        ):
+            raise ConfigError("rate_flap requires the tbf bottleneck model")
 
     @property
     def min_rtt_ns(self) -> int:
@@ -104,6 +127,7 @@ class ExperimentConfig:
             raise ConfigError("multi-object downloads are QUIC-only here")
         if self.stack == "tcp" and self.gso != "off":
             raise ConfigError("GSO modes only apply to QUIC stacks here")
+        self.network.validate()
 
     @property
     def label(self) -> str:
@@ -114,6 +138,8 @@ class ExperimentConfig:
             parts.append(f"gso-{self.gso}")
         if self.spurious_rollback is False:
             parts.append("sf")
+        parts.extend(spec.slug for spec in self.network.forward_impairments)
+        parts.extend(f"r-{spec.slug}" for spec in self.network.reverse_impairments)
         return "/".join(parts)
 
     def cache_key(self) -> str:

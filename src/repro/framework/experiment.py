@@ -14,8 +14,10 @@ server's pacing, not the shaper's.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.cc.factory import make_cc
@@ -26,6 +28,7 @@ from repro.kernel.qdisc import make_qdisc
 from repro.kernel.socket import UdpSocket
 from repro.metrics.goodput import goodput_mbps
 from repro.net.bottleneck import Bottleneck
+from repro.net.impairments import build_impairments
 from repro.net.link import Link
 from repro.net.nic import Nic
 from repro.net.packet import reset_dgram_ids
@@ -65,6 +68,11 @@ class ExperimentResult:
     server_stats: dict = field(default_factory=dict)
     #: Per-object completion times relative to the request (multi-object runs).
     object_completion_ns: dict = field(default_factory=dict)
+    #: Fault-injection drops (impairment stages), as opposed to ``dropped``,
+    #: which counts congestion (bottleneck queue-overflow) drops.
+    injected_drops: int = 0
+    #: Per-stage impairment counters, keyed ``"{dir}/{index}/{kind}"``.
+    impairment_stats: dict = field(default_factory=dict)
     #: Execution observability (progress/throughput reporting, not metrics):
     #: simulator events fired and host wall-clock seconds for this repetition.
     events_processed: int = 0
@@ -73,6 +81,36 @@ class ExperimentResult:
     @property
     def packets_on_wire(self) -> int:
         return len(self.server_records)
+
+    def fingerprint(self) -> str:
+        """Stable digest of every *deterministic* field of this result.
+
+        Covers config, seed, timings, traces, captures, and all counters;
+        excludes execution observability (``wall_time_s``,
+        ``events_processed``), which legitimately varies between hosts,
+        worker counts, and cache hits. Two runs of the same (config, seed)
+        must produce equal fingerprints regardless of serial/parallel/cached
+        execution — the determinism test suite pins exactly that.
+        """
+        payload = {
+            "config": asdict(self.config),
+            "seed": self.seed,
+            "completed": self.completed,
+            "duration_ns": self.duration_ns,
+            "goodput_mbps": self.goodput_mbps,
+            "dropped": self.dropped,
+            "injected_drops": self.injected_drops,
+            "server_records": [asdict(r) for r in self.server_records],
+            "expected_send_log": self.expected_send_log,
+            "cwnd_trace": self.cwnd_trace,
+            "queue_trace": self.queue_trace,
+            "qdisc_stats": self.qdisc_stats,
+            "server_stats": self.server_stats,
+            "object_completion_ns": self.object_completion_ns,
+            "impairment_stats": self.impairment_stats,
+        }
+        encoded = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(encoded).hexdigest()
 
 
 class Experiment:
@@ -126,7 +164,22 @@ class Experiment:
                 sink=self.client_sock,
             )
         self.bottleneck.trace_queue = cfg.trace_queue
-        tap = FiberTap(self.sim, self.sniffer, sink=self.bottleneck)
+        # Forward-path fault injection sits between the capture tap and the
+        # bottleneck: the sniffer still sees the sender's pacing untouched
+        # (tap-before-bottleneck, as in the paper), while the client observes
+        # the impaired path. Each stage draws from its own named per-rep
+        # stream, so impairment randomness is independent per repetition and
+        # identical across serial/parallel/cached execution.
+        flap_target = self.bottleneck if net.bottleneck == "tbf" else None
+        fwd_head, self.fwd_impairments, self.flappers = build_impairments(
+            net.forward_impairments,
+            self.sim,
+            sink=self.bottleneck,
+            rng_for=self.rngs.stream,
+            direction="fwd",
+            bottleneck=flap_target,
+        )
+        tap = FiberTap(self.sim, self.sniffer, sink=fwd_head)
         server_link = Link(
             self.sim, "server-link", net.link_rate_bps, propagation_ns=us(1), sink=tap
         )
@@ -167,8 +220,17 @@ class Experiment:
             delay_ns=net.one_way_delay_ns,
             rng=self.rngs.stream("reverse-netem"),
         )
+        # Reverse-path (ACK) fault injection sits between the client link and
+        # the delay stage.
+        rev_head, self.rev_impairments, _ = build_impairments(
+            net.reverse_impairments,
+            self.sim,
+            sink=reverse_delay,
+            rng_for=self.rngs.stream,
+            direction="rev",
+        )
         client_link = Link(
-            self.sim, "client-link", net.link_rate_bps, propagation_ns=us(1), sink=reverse_delay
+            self.sim, "client-link", net.link_rate_bps, propagation_ns=us(1), sink=rev_head
         )
         self.client_sock.egress = client_link
         self.client_sock.connect(SERVER_ADDR, SERVER_PORT)
@@ -177,6 +239,12 @@ class Experiment:
             self._build_tcp()
         else:
             self._build_quic()
+
+        if self.qlog_trace is not None:
+            trace = self.qlog_trace
+            hook = lambda name, time_ns, data: trace.log(time_ns, name, **data)
+            for stage in (*self.fwd_impairments, *self.rev_impairments):
+                stage.on_event = hook
 
     def _gso_policy(self) -> GsoPolicy:
         if self.config.gso == "off":
@@ -333,6 +401,11 @@ class Experiment:
         )
         expected_log = list(self.server.expected_send_log) if self.server else []
         server_stats = self._server_stats()
+        impairment_stats = {
+            stage.name: stage.stats.as_dict()
+            for stage in (*self.fwd_impairments, *self.rev_impairments)
+        }
+        injected = sum(s["injected_drops"] for s in impairment_stats.values())
         return ExperimentResult(
             config=cfg,
             seed=self.seed,
@@ -347,6 +420,8 @@ class Experiment:
             qdisc_stats=self.qdisc.stats.as_dict(),
             server_stats=server_stats,
             object_completion_ns=object_times,
+            injected_drops=injected,
+            impairment_stats=impairment_stats,
             events_processed=self.sim.events_processed,
             wall_time_s=time.perf_counter() - wall_start,
         )

@@ -13,7 +13,6 @@ completed repetitions across sessions.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, TextIO, TYPE_CHECKING
 
@@ -21,24 +20,17 @@ from repro.framework.config import ExperimentConfig
 from repro.framework.experiment import Experiment, ExperimentResult
 from repro.metrics.stats import Summary, summarize
 from repro.net.tap import CaptureRecord
+from repro.sim.random import derive_seed
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.framework.cache import ResultCache
 
-
-def derive_seed(base_seed: int, rep: int) -> int:
-    """Per-repetition seed: a stable 64-bit mix of ``(base_seed, rep)``.
-
-    The former linear derivation (``base_seed * 1000 + rep``) collided across
-    base seeds — seed 1 / rep 1000 equalled seed 2 / rep 0, so overlapping
-    sweeps silently reran identical simulations as "independent" repetitions.
-    Hashing the pair keeps every (seed, rep) combination distinct (the
-    ``{base}/{rep}`` encoding is injective, so collisions require a blake2b
-    collision) and is stable across processes, sessions, and
-    ``PYTHONHASHSEED``.
-    """
-    digest = hashlib.blake2b(f"{base_seed}/{rep}".encode(), digest_size=8).digest()
-    return int.from_bytes(digest, "big")
+__all__ = [
+    "RunSummary",
+    "derive_seed",  # canonical home: repro.sim.random (re-exported for compat)
+    "run_repetitions",
+    "summarize_results",
+]
 
 
 @dataclass

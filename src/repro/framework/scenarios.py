@@ -11,6 +11,13 @@ from dataclasses import replace
 from typing import Dict, Optional
 
 from repro.framework.config import ExperimentConfig, NetworkConfig
+from repro.net.impairments import (
+    burst_loss,
+    duplication,
+    iid_loss,
+    rate_flap,
+    reordering,
+)
 from repro.units import mbit, mib, ms
 
 DEFAULT_FILE_SIZE = mib(8)
@@ -84,3 +91,54 @@ def network_sweep(**kwargs) -> Dict[str, ExperimentConfig]:
                 **kwargs,
             )
     return grid
+
+
+#: Named impairment settings for the fault-injection sweep. ``burst`` uses
+#: the dribbled Gilbert–Elliott defaults that arm quiche's small-loss
+#: rollback heuristic (Section 4.2's pathology, now reachable on demand).
+IMPAIRMENT_SWEEP_SPECS: Dict[str, tuple] = {
+    "clean": (),
+    "loss0.1%": (iid_loss(0.001),),
+    "loss1%": (iid_loss(0.01),),
+    "burst": (burst_loss(),),
+    "reorder": (reordering(rate=0.02, extra_delay_ns=ms(4)),),
+    "dup": (duplication(0.01),),
+    "flap": (rate_flap(low_rate_bps=mbit(10), period_ns=ms(1000)),),
+}
+
+
+def impairment_config(
+    specs: tuple,
+    stack: str = "quiche",
+    qdisc: str = "fq",
+    spurious_rollback: Optional[bool] = True,
+    **kwargs,
+) -> ExperimentConfig:
+    """One fault-injected configuration: ``specs`` on the forward path.
+
+    Stock quiche (rollback enabled) over FQ by default — the setting where
+    injected loss patterns reach the recovery pathologies the paper
+    dissects. Network parameters beyond the impairments stay at the paper's
+    operating point.
+    """
+    network = kwargs.pop("network", NetworkConfig())
+    network = replace(network, forward_impairments=tuple(specs))
+    return _base(
+        stack=stack,
+        qdisc=qdisc,
+        spurious_rollback=spurious_rollback if stack == "quiche" else None,
+        network=network,
+        **kwargs,
+    )
+
+
+def impairment_sweep(**kwargs) -> Dict[str, ExperimentConfig]:
+    """Fault-injection grid: stock quiche + FQ under each impairment in
+    :data:`IMPAIRMENT_SWEEP_SPECS` (clean baseline, i.i.d. loss at two
+    rates, Gilbert–Elliott burst loss, reordering, duplication, a flapping
+    bottleneck). The burst-loss point reproduces the spurious-loss cwnd
+    rollback signature; see EXPERIMENTS.md."""
+    return {
+        name: impairment_config(specs, **kwargs)
+        for name, specs in IMPAIRMENT_SWEEP_SPECS.items()
+    }

@@ -13,7 +13,12 @@ from repro.sim.engine import Simulator
 class QdiscStats:
     enqueued: int = 0
     dequeued: int = 0
+    #: Total drops; netem additionally splits it into the loss-model share
+    #: (``dropped_loss``, injected impairment) and the queue-limit share
+    #: (``dropped_overflow``, congestion) so analyses can tell the two apart.
     dropped: int = 0
+    dropped_loss: int = 0
+    dropped_overflow: int = 0
     dropped_late: int = 0
     bytes_sent: int = 0
 
@@ -22,6 +27,8 @@ class QdiscStats:
             "enqueued": self.enqueued,
             "dequeued": self.dequeued,
             "dropped": self.dropped,
+            "dropped_loss": self.dropped_loss,
+            "dropped_overflow": self.dropped_overflow,
             "dropped_late": self.dropped_late,
             "bytes_sent": self.bytes_sent,
         }

@@ -13,6 +13,7 @@ from typing import Optional
 from repro.kernel.qdisc.base import Qdisc
 from repro.net.packet import Datagram, PacketSink
 from repro.sim.engine import Simulator
+from repro.sim.random import derive_seed
 
 
 class NetemQdisc(Qdisc):
@@ -28,13 +29,21 @@ class NetemQdisc(Qdisc):
         loss_rate: float = 0.0,
         limit_packets: int = 100_000,
         rng: Optional[random.Random] = None,
+        seed: int = 0,
     ):
         super().__init__(sim, name, sink)
         self.delay_ns = delay_ns
         self.jitter_ns = jitter_ns
         self.loss_rate = loss_rate
         self.limit_packets = limit_packets
-        self.rng = rng or random.Random(0)
+        # Prefer an explicit per-experiment stream (the experiment wiring
+        # passes ``RngRegistry.stream(...)``). Standalone construction derives
+        # from ``seed`` + the qdisc name: the old ``random.Random(0)`` default
+        # replayed one process-wide constant loss/jitter pattern in every
+        # instance and every repetition.
+        if rng is None:
+            rng = random.Random(derive_seed(seed, int.from_bytes(name.encode(), "big") & 0xFFFF_FFFF))
+        self.rng = rng
         self._in_flight = 0
         self._last_release = 0
 
@@ -42,9 +51,11 @@ class NetemQdisc(Qdisc):
         self.stats.enqueued += 1
         if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
             self.stats.dropped += 1
+            self.stats.dropped_loss += 1
             return
         if self._in_flight >= self.limit_packets:
             self.stats.dropped += 1
+            self.stats.dropped_overflow += 1
             return
         delay = self.delay_ns
         if self.jitter_ns > 0:

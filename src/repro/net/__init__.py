@@ -1,13 +1,30 @@
-"""Wire-level devices: datagrams, links, NICs, the passive fiber tap, and the
-emulated bottleneck (TBF + netem), mirroring the paper's Figure 1 topology."""
+"""Wire-level devices: datagrams, links, NICs, the passive fiber tap, the
+emulated bottleneck (TBF + netem), and composable fault-injection
+impairments, mirroring (and stressing) the paper's Figure 1 topology."""
 
 from repro.net.packet import Datagram, PacketSink, ETHERNET_OVERHEAD, WIRE_FRAMING
 from repro.net.link import Link
 from repro.net.nic import Nic
 from repro.net.tap import FiberTap, Sniffer, CaptureRecord
 from repro.net.bottleneck import Bottleneck
+from repro.net.impairments import (
+    ImpairmentSpec,
+    build_impairments,
+    burst_loss,
+    duplication,
+    iid_loss,
+    rate_flap,
+    reordering,
+)
 
 __all__ = [
+    "ImpairmentSpec",
+    "build_impairments",
+    "burst_loss",
+    "duplication",
+    "iid_loss",
+    "rate_flap",
+    "reordering",
     "Datagram",
     "PacketSink",
     "ETHERNET_OVERHEAD",

@@ -54,6 +54,7 @@ class Bottleneck:
         self._tokens = float(burst_bytes)
         self._last_refill_ns = 0
         self._drain_scheduled = False
+        self._drain_handle = None
 
         self.dropped = 0
         self.forwarded = 0
@@ -66,6 +67,25 @@ class Bottleneck:
         self.trace_queue = False
 
     # -- token accounting -------------------------------------------------
+
+    def set_rate(self, rate_bps: int) -> None:
+        """Change the drain rate mid-run (time-varying link emulation).
+
+        Tokens earned so far are settled at the *old* rate first, so a rate
+        change never retroactively rewrites past capacity. A drain wait
+        computed under the old rate is cancelled and re-planned at the new
+        one, so queued packets neither wait out a stale slow-rate deficit
+        nor jump a still-unearned token deadline.
+        """
+        if rate_bps <= 0:
+            raise ValueError(f"bottleneck rate must be positive, got {rate_bps}")
+        self._refill()
+        self.rate_bps = rate_bps
+        if self._drain_scheduled and self._drain_handle is not None:
+            self._drain_handle.cancel()
+            self._drain_handle = None
+            self._drain_scheduled = False
+        self._maybe_drain()
 
     def _refill(self) -> None:
         now = self.sim.now
@@ -120,15 +140,16 @@ class Bottleneck:
         need = head.wire_size
         if self._tokens >= need:
             self._drain_scheduled = True
-            self.sim.call_soon(self._drain)
+            self._drain_handle = self.sim.call_soon(self._drain)
         else:
             deficit_bytes = need - self._tokens
             wait = -(-int(deficit_bytes * 8 * SEC) // self.rate_bps)
             self._drain_scheduled = True
-            self.sim.schedule(max(wait, 1), self._drain)
+            self._drain_handle = self.sim.schedule(max(wait, 1), self._drain)
 
     def _drain(self) -> None:
         self._drain_scheduled = False
+        self._drain_handle = None
         if not self._queue:
             return
         self._refill()

@@ -13,6 +13,26 @@ import random
 from typing import Dict
 
 
+def derive_seed(base_seed: int, rep: int) -> int:
+    """Per-repetition seed: a stable 64-bit mix of ``(base_seed, rep)``.
+
+    The former linear derivation (``base_seed * 1000 + rep``) collided across
+    base seeds — seed 1 / rep 1000 equalled seed 2 / rep 0, so overlapping
+    sweeps silently reran identical simulations as "independent" repetitions.
+    Hashing the pair keeps every (seed, rep) combination distinct (the
+    ``{base}/{rep}`` encoding is injective, so collisions require a blake2b
+    collision) and is stable across processes, sessions, and
+    ``PYTHONHASHSEED``.
+
+    Lives in :mod:`repro.sim.random` (not the framework) so wire-level
+    components like :class:`~repro.kernel.qdisc.netem.NetemQdisc` can derive
+    default streams from an experiment seed without a layering cycle;
+    :mod:`repro.framework.runner` re-exports it.
+    """
+    digest = hashlib.blake2b(f"{base_seed}/{rep}".encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
 class RngRegistry:
     """Factory for named, independently-seeded :class:`random.Random` streams."""
 

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.framework.config import ExperimentConfig, NetworkConfig
+from repro.net.impairments import ImpairmentSpec, burst_loss, iid_loss, rate_flap
 from repro.units import kib, mbit, mib, ms
 
 
@@ -15,6 +16,21 @@ class TestNetworkConfig:
         # BDP = 40 Mbit/s * 40 ms = 200 kB; buffer = 2 BDP.
         assert net.bdp_bytes == 200_000
         assert net.buffer_bytes == 400_000
+        assert net.forward_impairments == () and net.reverse_impairments == ()
+
+    def test_impairment_specs_validated(self):
+        NetworkConfig(forward_impairments=(iid_loss(0.01),)).validate()
+        with pytest.raises(ConfigError):
+            NetworkConfig(forward_impairments=(ImpairmentSpec(kind="loss", rate=2.0),)).validate()
+        with pytest.raises(ConfigError):
+            NetworkConfig(reverse_impairments=(ImpairmentSpec(kind="gremlins"),)).validate()
+
+    def test_rate_flap_only_on_forward_tbf(self):
+        NetworkConfig(forward_impairments=(rate_flap(),)).validate()
+        with pytest.raises(ConfigError):
+            NetworkConfig(reverse_impairments=(rate_flap(),)).validate()
+        with pytest.raises(ConfigError):
+            NetworkConfig(bottleneck="wifi", forward_impairments=(rate_flap(),)).validate()
 
 
 class TestExperimentConfig:
@@ -66,6 +82,38 @@ class TestExperimentConfig:
         ]:
             changed = dataclasses.replace(cfg, **{field: value})
             assert changed.cache_key() != cfg.cache_key(), field
+
+    def test_cache_key_sees_impairments(self):
+        cfg = ExperimentConfig()
+        keys = {
+            cfg.cache_key(),
+            ExperimentConfig(
+                network=NetworkConfig(forward_impairments=(iid_loss(0.01),))
+            ).cache_key(),
+            ExperimentConfig(
+                network=NetworkConfig(forward_impairments=(iid_loss(0.02),))
+            ).cache_key(),
+            ExperimentConfig(
+                network=NetworkConfig(reverse_impairments=(iid_loss(0.01),))
+            ).cache_key(),
+        }
+        assert len(keys) == 4
+
+    def test_label_encodes_impairments(self):
+        cfg = ExperimentConfig(
+            stack="quiche",
+            qdisc="fq",
+            network=NetworkConfig(
+                forward_impairments=(burst_loss(),),
+                reverse_impairments=(iid_loss(0.01),),
+            ),
+        )
+        assert cfg.label == "quiche/cubic/fq/ge0.003-0.3/r-loss0.01"
+
+    def test_experiment_validate_runs_network_validate(self):
+        bad = ExperimentConfig(network=NetworkConfig(reverse_impairments=(rate_flap(),)))
+        with pytest.raises(ConfigError):
+            bad.validate()
 
 
 def test_scenarios_cover_paper_experiments():

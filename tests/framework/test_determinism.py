@@ -1,0 +1,89 @@
+"""Serial / parallel / cached bit-identity over an impairment grid.
+
+Pins PR 1's equivalence claim and this PR's per-experiment RNG derivation:
+the same grid must produce byte-for-byte identical results whether
+repetitions run in-process (``workers=1``), fan out across a process pool
+(``workers=4``), or come back from a warm :class:`ResultCache` — including
+under seeded fault injection, whose randomness must be a pure function of
+``(config, derived seed)``.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.framework.cache import ResultCache
+from repro.framework.config import ExperimentConfig, NetworkConfig
+from repro.framework.sweep import SweepRunner
+from repro.net.impairments import burst_loss, iid_loss, reordering
+from repro.units import kib
+
+#: Small but non-trivial: loss, bursts, and reordering all active, two reps.
+GRID = {
+    "burst": ExperimentConfig(
+        stack="quiche",
+        qdisc="fq",
+        file_size=kib(256),
+        repetitions=2,
+        seed=11,
+        trace_cwnd=True,
+        network=NetworkConfig(forward_impairments=(burst_loss(),)),
+    ),
+    "loss+reorder": ExperimentConfig(
+        stack="quiche",
+        file_size=kib(256),
+        repetitions=2,
+        seed=11,
+        network=NetworkConfig(
+            forward_impairments=(iid_loss(0.02), reordering()),
+            reverse_impairments=(iid_loss(0.01),),
+        ),
+    ),
+}
+
+
+def _fingerprints(summaries):
+    return {
+        name: [r.fingerprint() for r in summary.results]
+        for name, summary in summaries.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_summaries():
+    return SweepRunner(workers=1).run(GRID)
+
+
+def test_serial_vs_parallel_bit_identical(serial_summaries):
+    parallel = SweepRunner(workers=4).run(GRID)
+    assert _fingerprints(serial_summaries) == _fingerprints(parallel)
+    for name in GRID:
+        assert serial_summaries[name].goodput == parallel[name].goodput
+        assert serial_summaries[name].dropped == parallel[name].dropped
+
+
+def test_warm_cache_bit_identical(serial_summaries, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cold = SweepRunner(workers=2, cache=cache).run(GRID)
+    assert cache.stats.stores == 4
+    warm = SweepRunner(workers=1, cache=cache).run(GRID)
+    assert cache.stats.hits == 4
+    assert _fingerprints(serial_summaries) == _fingerprints(cold) == _fingerprints(warm)
+
+
+def test_repetitions_are_rng_independent(serial_summaries):
+    # Per-rep seed derivation must give each repetition its own impairment
+    # randomness — identical reps would mean the old Random(0)-style bug.
+    for summary in serial_summaries.values():
+        a, b = summary.results
+        assert a.fingerprint() != b.fingerprint()
+        assert a.injected_drops > 0 and b.injected_drops > 0
+
+
+def test_fingerprint_ignores_observability_fields(serial_summaries):
+    result = serial_summaries["burst"].results[0]
+    jittered = replace(result, wall_time_s=result.wall_time_s + 1.0,
+                       events_processed=result.events_processed + 5)
+    assert jittered.fingerprint() == result.fingerprint()
+    changed = replace(result, dropped=result.dropped + 1)
+    assert changed.fingerprint() != result.fingerprint()

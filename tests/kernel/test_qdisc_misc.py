@@ -15,7 +15,7 @@ from repro.kernel.qdisc import (
     make_qdisc,
 )
 from repro.units import mbit, ms, tx_time_ns, us
-from tests.conftest import make_dgram
+from tests.conftest import Collector, make_dgram
 
 
 class TestPfifoFast:
@@ -98,6 +98,43 @@ class TestNetem:
         sim.run()
         assert 60 < q.stats.dropped < 140
         assert len(collector) == 200 - q.stats.dropped
+
+    def test_loss_drops_counted_separately(self, sim, collector):
+        q = NetemQdisc(sim, sink=collector, loss_rate=0.3, rng=random.Random(2))
+        for _ in range(300):
+            q.enqueue(make_dgram(100))
+        sim.run()
+        assert q.stats.dropped_loss > 0
+        assert q.stats.dropped_overflow == 0
+        assert q.stats.dropped == q.stats.dropped_loss
+        assert q.stats.as_dict()["dropped_loss"] == q.stats.dropped_loss
+
+    def test_overflow_drops_counted_separately(self, sim, collector):
+        q = NetemQdisc(sim, sink=collector, delay_ns=ms(20), limit_packets=5)
+        for _ in range(8):
+            q.enqueue(make_dgram(100))
+        sim.run()
+        assert q.stats.dropped_overflow == 3
+        assert q.stats.dropped_loss == 0
+        assert q.stats.dropped == 3
+        assert len(collector) == 5
+
+    def test_default_rng_derives_from_seed(self, sim):
+        def drops(seed, name="netem"):
+            c = Collector(sim)
+            q = NetemQdisc(sim, name=name, sink=c, loss_rate=0.5, seed=seed)
+            pattern = []
+            for _ in range(64):
+                before = q.stats.dropped_loss
+                q.enqueue(make_dgram(100))
+                pattern.append(q.stats.dropped_loss > before)
+            return pattern
+
+        # Deterministic per (seed, name) — and different across seeds and
+        # across instance names, unlike the old shared Random(0) default.
+        assert drops(1) == drops(1)
+        assert drops(1) != drops(2)
+        assert drops(3, "netem-fwd") != drops(3, "netem-rev")
 
 
 class TestFqCodel:

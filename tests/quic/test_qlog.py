@@ -2,8 +2,9 @@
 
 import json
 
-from repro.framework.config import ExperimentConfig
+from repro.framework.config import ExperimentConfig, NetworkConfig
 from repro.framework.experiment import Experiment
+from repro.net.impairments import burst_loss, iid_loss
 from repro.quic.qlog import QlogTrace, attach_qlog
 from repro.units import kib
 
@@ -58,6 +59,56 @@ def test_serialization_roundtrip(tmp_path):
     assert loaded["qlog_version"]
     assert loaded["trace"]["events"]
     assert loaded["trace"]["events"][0]["time"] >= 0
+
+
+def test_short_transfer_covers_expected_categories():
+    experiment, result = run_traced(file_size=kib(64))
+    assert result.completed
+    categories = {e.name for e in experiment.qlog_trace.events}
+    assert {
+        "transport:packet_sent",
+        "transport:packet_received",
+        "recovery:metrics_updated",
+    } <= categories
+    # Every event name is category:event shaped.
+    assert all(e.name.count(":") == 1 for e in experiment.qlog_trace.events)
+
+
+def test_to_dict_is_json_serializable():
+    experiment, _ = run_traced(file_size=kib(64))
+    d = experiment.qlog_trace.to_dict()
+    reloaded = json.loads(json.dumps(d))
+    assert reloaded == d
+    assert len(reloaded["trace"]["events"]) == len(experiment.qlog_trace)
+
+
+def test_injected_drops_appear_in_trace():
+    net = NetworkConfig(forward_impairments=(iid_loss(0.03),))
+    experiment, result = run_traced(network=net)
+    drops = experiment.qlog_trace.of_type("network:injected_drop")
+    assert result.injected_drops > 0
+    assert len(drops) == result.injected_drops
+    e = drops[0]
+    assert e.data["kind"] == "loss"
+    assert e.data["stage"] == "fwd/0/loss"
+    assert e.data["size"] > 0
+    # Injected-drop events interleave time-ordered with the transport events.
+    times = [e.time_ns for e in experiment.qlog_trace.events]
+    assert times == sorted(times)
+
+
+def test_recovery_events_under_injected_burst_loss():
+    net = NetworkConfig(forward_impairments=(burst_loss(p_enter=0.01),))
+    experiment, result = run_traced(file_size=kib(512), network=net)
+    trace = experiment.qlog_trace
+    assert result.injected_drops > 0
+    lost = trace.of_type("recovery:packet_lost")
+    assert lost
+    assert trace.of_type("recovery:congestion_event")
+    # The loss the controller reacts to is the fault layer's, not queue
+    # overflow: the trace distinguishes the two.
+    assert trace.of_type("network:injected_drop")
+    assert result.dropped == 0 or len(lost) >= result.dropped
 
 
 def test_manual_attach():
