@@ -17,10 +17,12 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.errors import ConfigError
 from repro.framework.cache import ResultCache
 from repro.framework.config import ExperimentConfig, GSO_MODES, QDISCS, STACKS
 from repro.framework.multiflow import FlowSpec, MultiFlowExperiment
-from repro.framework.runner import run_repetitions
+from repro.framework.runner import RunSummary, run_repetitions
+from repro.framework.supervision import SupervisionPolicy
 from repro.framework.sweep import SweepRunner
 from repro.metrics.gaps import fraction_leq, inter_packet_gaps, pooled_gaps
 from repro.metrics.report import render_histogram, render_table
@@ -123,12 +125,48 @@ def _add_exec(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true", help="recompute everything, touch no cache"
     )
+    parser.add_argument(
+        "--timeout", type=float, metavar="SECONDS", default=None,
+        help="per-repetition wall-clock budget; a hung repetition is killed and "
+        "retried (needs --workers >= 2 to be enforceable)",
+    )
+    parser.add_argument(
+        "--retries", type=int, metavar="N", default=2,
+        help="re-attempts per repetition after a crash/timeout, with exponential "
+        "backoff and the same derived seed (default: 2)",
+    )
+    parser.add_argument(
+        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        help="resume an interrupted invocation from its journal (--no-resume "
+        "discards the journal and re-runs everything; default: resume)",
+    )
 
 
 def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
     if args.no_cache:
         return None
-    return ResultCache(args.cache_dir)
+    return ResultCache(args.cache_dir, stream=sys.stderr)
+
+
+def _make_policy(args: argparse.Namespace) -> SupervisionPolicy:
+    return SupervisionPolicy(timeout_s=args.timeout, retries=args.retries)
+
+
+def _journal_dir(cache: Optional[ResultCache]) -> Optional[str]:
+    """Journals live alongside the cache; no cache means no checkpointing
+    (there would be nowhere to restore results from)."""
+    return str(cache.root / "journals") if cache is not None else None
+
+
+def _report_failures(summaries: dict) -> int:
+    """Print failed repetitions; the exit code says the table is partial."""
+    failed = [f for summary in summaries.values() for f in summary.failures]
+    if not failed:
+        return 0
+    print(f"{len(failed)} repetition(s) FAILED — statistics above are partial:")
+    for failure in failed:
+        print(f"  {failure.describe()}")
+    return 1
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -151,7 +189,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config.validate()
     cache = _make_cache(args)
     print(f"running {config.label} x{config.repetitions} ...")
-    summary = run_repetitions(config, workers=args.workers, cache=cache, stream=sys.stderr)
+    summary = run_repetitions(
+        config,
+        workers=args.workers,
+        cache=cache,
+        stream=sys.stderr,
+        policy=_make_policy(args),
+        journal_dir=_journal_dir(cache),
+        resume=args.resume,
+    )
     print(summary.describe())
     injected = sum(r.injected_drops for r in summary.results)
     if injected:
@@ -165,22 +211,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # paper combines all repetitions per setting. Reporting repetition 0 alone
     # misrepresents the run whenever repetitions differ.
     groups = summary.pooled_records
-    gaps = pooled_gaps(groups)
-    reps = len(groups)
-    print(
-        f"back-to-back share (pooled, {reps} reps): "
-        f"{fraction_leq(gaps, us(15)) * 100:.1f}%"
-    )
-    print(
-        f"packets in trains <= 5 (pooled, {reps} reps): "
-        f"{pooled_fraction_of_packets_in_trains_leq(groups, 5) * 100:.1f}%"
-    )
-    print(
-        render_histogram(
-            pooled_packets_by_train_length(groups),
-            title=f"train lengths (pooled, {reps} reps)",
+    if groups:
+        gaps = pooled_gaps(groups)
+        reps = len(groups)
+        print(
+            f"back-to-back share (pooled, {reps} reps): "
+            f"{fraction_leq(gaps, us(15)) * 100:.1f}%"
         )
-    )
+        print(
+            f"packets in trains <= 5 (pooled, {reps} reps): "
+            f"{pooled_fraction_of_packets_in_trains_leq(groups, 5) * 100:.1f}%"
+        )
+        print(
+            render_histogram(
+                pooled_packets_by_train_length(groups),
+                title=f"train lengths (pooled, {reps} reps)",
+            )
+        )
     if cache is not None:
         print(f"cache: {cache.stats}", file=sys.stderr)
 
@@ -189,12 +236,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         path = save_summary(summary, args.json)
         print(f"saved {path}")
-    if args.capture:
+    if args.capture and summary.results:
         from repro.metrics.capture_io import save_capture
 
         path = save_capture(summary.results[0].server_records, args.capture)
         print(f"saved capture (rep 0) {path}")
-    return 0
+    return _report_failures({config.label: summary})
 
 
 def _sweep_grid(args: argparse.Namespace) -> dict:
@@ -225,7 +272,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     cache = _make_cache(args)
     grid = _sweep_grid(args)
     print(f"sweeping {len(grid)} configurations x{args.reps} reps ...")
-    runner = SweepRunner(workers=args.workers, cache=cache, stream=sys.stderr)
+    runner = SweepRunner(
+        workers=args.workers,
+        cache=cache,
+        stream=sys.stderr,
+        policy=_make_policy(args),
+        journal_dir=_journal_dir(cache),
+        resume=args.resume,
+    )
     summaries = runner.run(grid)
 
     rows = []
@@ -238,20 +292,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 str(summary.goodput),
                 str(summary.dropped),
                 str(sum(r.injected_drops for r in summary.results)),
-                f"{fraction_leq(pooled_gaps(groups), us(15)) * 100:.1f}%",
-                f"{pooled_fraction_of_packets_in_trains_leq(groups, 5) * 100:.1f}%",
+                f"{fraction_leq(pooled_gaps(groups), us(15)) * 100:.1f}%" if groups else "-",
+                f"{pooled_fraction_of_packets_in_trains_leq(groups, 5) * 100:.1f}%"
+                if groups
+                else "-",
+                f"{len(summary.failures)}/{summary.config.repetitions}"
+                if summary.failures
+                else "0",
             ]
         )
     print(
         render_table(
-            ["name", "config", "goodput [Mbit/s]", "dropped", "injected", "b2b share", "trains<=5"],
+            ["name", "config", "goodput [Mbit/s]", "dropped", "injected", "b2b share", "trains<=5", "failed"],
             rows,
             title=f"sweep: {args.grid} (metrics pooled over {args.reps} reps)",
         )
     )
     if cache is not None:
         print(f"cache: {cache.stats}", file=sys.stderr)
-    return 0
+    return _report_failures(summaries)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -389,7 +448,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.sf = False
     elif hasattr(args, "sf"):
         args.sf = None
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigError as exc:
+        # Invalid configuration is an operator error, not a crash: one line
+        # naming the offending field, conventional exit code 2.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -25,3 +25,25 @@ class FlowControlError(ProtocolError):
 
 class ConfigError(ReproError):
     """An experiment or stack configuration is invalid."""
+
+
+class ExecutionError(ReproError):
+    """A repetition could not be executed (harness failure, not a sim bug)."""
+
+
+class RepTimeoutError(ExecutionError):
+    """A repetition exceeded its supervised wall-clock budget."""
+
+
+class WorkerCrashError(ExecutionError):
+    """The process pool died (segfault/OOM/exit) while a repetition ran."""
+
+
+class QuarantinedError(ExecutionError):
+    """A repetition was skipped because its configuration was quarantined
+    after repeated consecutive failures."""
+
+
+class ValidationError(ReproError):
+    """A finished repetition violated a result invariant (conservation,
+    monotonicity, rate ceiling); the result must not be cached or summarized."""

@@ -1,12 +1,17 @@
 """Measurement framework: reproducible single-connection experiments over the
 emulated testbed, with repetition and aggregation (paper Section 3), parallel
-grid fan-out, and persistent result caching."""
+grid fan-out under supervision (timeouts, retries, crash recovery),
+checkpoint/resume journaling, result validation, and persistent result
+caching."""
 
 from repro.framework.cache import CACHE_VERSION, CacheStats, ResultCache, default_cache_dir
 from repro.framework.config import ExperimentConfig, NetworkConfig
 from repro.framework.experiment import Experiment, ExperimentResult
+from repro.framework.journal import SweepJournal, grid_key
 from repro.framework.runner import RunSummary, derive_seed, run_repetitions
+from repro.framework.supervision import RepFailure, SupervisionPolicy, Supervisor
 from repro.framework.sweep import SweepRunner, run_sweep
+from repro.framework.validate import validate_result
 
 __all__ = [
     "CACHE_VERSION",
@@ -15,11 +20,17 @@ __all__ = [
     "NetworkConfig",
     "Experiment",
     "ExperimentResult",
+    "RepFailure",
     "ResultCache",
     "RunSummary",
+    "SupervisionPolicy",
+    "Supervisor",
+    "SweepJournal",
     "SweepRunner",
     "default_cache_dir",
     "derive_seed",
+    "grid_key",
     "run_repetitions",
     "run_sweep",
+    "validate_result",
 ]

@@ -28,6 +28,7 @@ def result_to_dict(result: ExperimentResult, include_capture: bool = False) -> D
     out = {
         "config": config_dict,
         "seed": result.seed,
+        "fingerprint": result.fingerprint(),
         "completed": result.completed,
         "duration_ns": result.duration_ns,
         "goodput_mbps": result.goodput_mbps,
@@ -59,6 +60,9 @@ def summary_to_dict(summary: RunSummary, include_capture: bool = False) -> Dict[
         "goodput_mbps": {"mean": summary.goodput.mean, "std": summary.goodput.std},
         "dropped": {"mean": summary.dropped.mean, "std": summary.dropped.std},
         "repetitions": [result_to_dict(r, include_capture) for r in summary.results],
+        # Failed repetitions ride along as structured records (never silently
+        # dropped from the artifact): exception type, attempts, wall time.
+        "failures": [f.as_dict() for f in summary.failures],
     }
 
 

@@ -15,11 +15,14 @@ per-rep seed already encodes everything rep-specific.
 Layout and robustness. Entries live under ``<root>/<key[:2]>/<key>.pkl``
 (``~/.cache/repro`` by default, overridable with ``$REPRO_CACHE_DIR`` or an
 explicit root). Each file is a pickle of ``(CACHE_VERSION, result)``; an
-entry with a stale version or one that fails to unpickle is *evicted* (the
-file is deleted) and treated as a miss, so format changes and torn writes
-degrade to recomputation, never to wrong results. Writes go through a
-temporary file and ``os.replace`` so concurrent workers can share one cache
-directory. Hit/miss/store/eviction counters are kept on :attr:`stats`.
+entry with a stale version or one that fails to unpickle is *evicted* and
+treated as a miss, so format changes and torn writes degrade to
+recomputation, never to wrong results. Eviction is never silent: the bad
+file is moved to ``<root>/quarantine/`` (not deleted) so a torn write can be
+inspected post-hoc, the eviction is counted on :attr:`stats`, and one
+warning line goes to the progress ``stream``. Writes go through a temporary
+file and ``os.replace`` so concurrent workers can share one cache directory.
+Hit/miss/store/eviction counters are kept on :attr:`stats`.
 """
 
 from __future__ import annotations
@@ -30,7 +33,7 @@ import pickle
 import tempfile
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, TextIO, Union
 
 from repro.framework.config import ExperimentConfig
 from repro.framework.experiment import ExperimentResult
@@ -57,6 +60,9 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    #: Corrupt/stale entries moved aside to ``<root>/quarantine/`` for
+    #: inspection (every eviction is also a quarantine unless the move fails).
+    quarantined: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -64,6 +70,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "quarantined": self.quarantined,
         }
 
     def __str__(self) -> str:
@@ -74,13 +81,22 @@ class CacheStats:
 
 
 class ResultCache:
-    """Content-addressed store of :class:`ExperimentResult` pickles."""
+    """Content-addressed store of :class:`ExperimentResult` pickles.
+
+    ``stream`` (e.g. ``sys.stderr``) receives one warning line whenever a
+    corrupt or stale entry is quarantined; ``None`` keeps eviction counted
+    but quiet.
+    """
 
     def __init__(
-        self, root: Optional[Union[str, Path]] = None, version: int = CACHE_VERSION
+        self,
+        root: Optional[Union[str, Path]] = None,
+        version: int = CACHE_VERSION,
+        stream: Optional[TextIO] = None,
     ):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.version = version
+        self.stream = stream
         self.stats = CacheStats()
 
     @staticmethod
@@ -104,8 +120,8 @@ class ResultCache:
             version, result = pickle.loads(payload)
             if version != self.version or not isinstance(result, ExperimentResult):
                 raise ValueError(f"stale cache entry (version {version!r})")
-        except Exception:
-            self._evict(path)
+        except Exception as exc:
+            self._evict(path, reason=f"{type(exc).__name__}: {exc}")
             self.stats.misses += 1
             return None
         self.stats.hits += 1
@@ -129,11 +145,32 @@ class ResultCache:
         self.stats.stores += 1
         return path
 
-    def _evict(self, path: Path) -> None:
+    def invalidate(self, config: ExperimentConfig, seed: int, reason: str = "invalidated") -> None:
+        """Quarantine the entry for (config, seed), e.g. after it failed
+        result validation — the next :meth:`get` will miss and recompute."""
+        self._evict(self._path(self.entry_key(config, seed)), reason=reason)
+
+    def _evict(self, path: Path, reason: str = "corrupt entry") -> None:
+        """Move a bad entry to ``<root>/quarantine/`` (same filesystem, so the
+        move is an atomic rename) instead of destroying the evidence."""
+        quarantine = self.root / "quarantine" / path.name
         try:
-            path.unlink()
+            quarantine.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine)
+            self.stats.quarantined += 1
+            if self.stream is not None:
+                print(
+                    f"[cache] warning: quarantined {path.name} -> {quarantine} ({reason})",
+                    file=self.stream,
+                    flush=True,
+                )
         except OSError:
-            pass
+            # Quarantine dir not writable (or the file vanished under us):
+            # fall back to plain deletion so the bad entry cannot be re-read.
+            try:
+                path.unlink()
+            except OSError:
+                pass
         self.stats.evictions += 1
 
     def __repr__(self) -> str:

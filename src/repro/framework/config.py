@@ -48,6 +48,24 @@ class NetworkConfig:
             raise ConfigError(
                 f"unknown bottleneck {self.bottleneck!r}; expected 'tbf' or 'wifi'"
             )
+        for rate_field in ("link_rate_bps", "bottleneck_rate_bps", "wifi_phy_rate_bps"):
+            if getattr(self, rate_field) <= 0:
+                raise ConfigError(
+                    f"{rate_field} must be positive, got {getattr(self, rate_field)}"
+                )
+        for delay_field in ("one_way_delay_ns", "wifi_access_overhead_ns"):
+            if getattr(self, delay_field) < 0:
+                raise ConfigError(
+                    f"{delay_field} must be non-negative, got {getattr(self, delay_field)}"
+                )
+        if self.buffer_bdp_multiplier <= 0:
+            raise ConfigError(
+                f"buffer_bdp_multiplier must be positive, got {self.buffer_bdp_multiplier}"
+            )
+        if self.tbf_burst_bytes <= 0:
+            raise ConfigError(f"tbf_burst_bytes must be positive, got {self.tbf_burst_bytes}")
+        if self.wifi_max_aggregate < 1:
+            raise ConfigError(f"wifi_max_aggregate must be >= 1, got {self.wifi_max_aggregate}")
         for spec in (*self.forward_impairments, *self.reverse_impairments):
             spec.validate()
         for spec in self.reverse_impairments:
@@ -118,11 +136,23 @@ class ExperimentConfig:
         if self.gso not in GSO_MODES:
             raise ConfigError(f"unknown gso mode {self.gso!r}; expected one of {GSO_MODES}")
         if self.file_size <= 0:
-            raise ConfigError("file_size must be positive")
+            raise ConfigError(f"file_size must be positive, got {self.file_size}")
         if self.repetitions <= 0:
-            raise ConfigError("repetitions must be positive")
+            raise ConfigError(f"repetitions must be positive, got {self.repetitions}")
         if self.objects <= 0:
-            raise ConfigError("objects must be positive")
+            raise ConfigError(f"objects must be positive, got {self.objects}")
+        if self.gso_segments < 1:
+            raise ConfigError(f"gso_segments must be >= 1, got {self.gso_segments}")
+        if self.etf_delta_ns < 0:
+            raise ConfigError(f"etf_delta_ns must be non-negative, got {self.etf_delta_ns}")
+        if self.max_sim_time_ns <= 0:
+            raise ConfigError(f"max_sim_time_ns must be positive, got {self.max_sim_time_ns}")
+        if self.client_ack_threshold is not None and self.client_ack_threshold < 1:
+            raise ConfigError(
+                f"client_ack_threshold must be >= 1, got {self.client_ack_threshold}"
+            )
+        if self.bucket_packets is not None and self.bucket_packets < 1:
+            raise ConfigError(f"bucket_packets must be >= 1, got {self.bucket_packets}")
         if self.objects > 1 and self.stack == "tcp":
             raise ConfigError("multi-object downloads are QUIC-only here")
         if self.stack == "tcp" and self.gso != "off":

@@ -1,0 +1,186 @@
+"""Sweep journal: a checkpoint manifest so interrupted sweeps resume.
+
+One JSON line per finished (or finally-failed) repetition, written alongside
+the result cache. The journal answers "which repetitions of *this grid* are
+already settled?" — the heavy results themselves live in the
+:class:`~repro.framework.cache.ResultCache`; a journal line only records the
+outcome, the repetition's derived seed, and (for successes) the result's
+``fingerprint()`` so a resumed run can prove bit-identity with the
+uninterrupted one.
+
+Durability. Like the cache, every update rewrites the file through a
+temporary sibling and ``os.replace``, so the journal on disk is always a
+complete, parseable snapshot — a kill at any instant loses at most the
+repetition that was being recorded, never the file. Loading is tolerant:
+undecodable lines (torn by an unclean filesystem) are skipped, and a journal
+whose header names a different grid or format version is discarded wholesale
+rather than misapplied.
+
+Resume semantics. On resume, successful repetitions are restored through the
+cache (a cache miss simply recomputes — determinism makes that equivalent),
+and recorded failures are carried forward verbatim instead of being retried;
+pass ``fresh=True`` (CLI ``--no-resume``) to discard the journal and re-run
+everything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.framework.config import ExperimentConfig
+from repro.framework.supervision import RepFailure
+
+__all__ = ["JournalEntry", "SweepJournal", "grid_key"]
+
+JOURNAL_VERSION = 1
+
+
+def grid_key(grid: Mapping[str, ExperimentConfig]) -> str:
+    """Content hash identifying a sweep: every name and full config key.
+
+    Unlike the cache's per-repetition keys, ``repetitions`` participates —
+    growing a grid is a different sweep (the cache still serves the shared
+    prefix; only the journal starts over).
+    """
+    payload = json.dumps(
+        sorted((name, config.cache_key(), config.repetitions) for name, config in grid.items())
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class JournalEntry:
+    name: str
+    rep: int
+    seed: int
+    status: str  # "ok" | "failed"
+    fingerprint: Optional[str] = None
+    failure: Optional[RepFailure] = None
+
+    def as_dict(self) -> dict:
+        out = {"name": self.name, "rep": self.rep, "seed": self.seed, "status": self.status}
+        if self.fingerprint is not None:
+            out["fingerprint"] = self.fingerprint
+        if self.failure is not None:
+            out["failure"] = self.failure.as_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JournalEntry":
+        failure = data.get("failure")
+        return cls(
+            name=data["name"],
+            rep=int(data["rep"]),
+            seed=int(data["seed"]),
+            status=data["status"],
+            fingerprint=data.get("fingerprint"),
+            failure=RepFailure.from_dict(failure) if failure else None,
+        )
+
+
+class SweepJournal:
+    """Atomic JSONL manifest of settled repetitions for one grid."""
+
+    def __init__(self, path: Union[str, Path], key: str):
+        self.path = Path(path)
+        self.key = key
+        self._entries: Dict[Tuple[str, int], JournalEntry] = {}
+        #: Entries present when the journal was opened (resume candidates),
+        #: as opposed to ones recorded by the current run.
+        self.resumed_entries = 0
+
+    @classmethod
+    def for_grid(
+        cls,
+        directory: Union[str, Path],
+        grid: Mapping[str, ExperimentConfig],
+        fresh: bool = False,
+    ) -> "SweepJournal":
+        """Open (or start) the journal for ``grid`` under ``directory``."""
+        key = grid_key(grid)
+        journal = cls(Path(directory) / f"{key[:16]}.jsonl", key)
+        if fresh:
+            journal._discard()
+        else:
+            journal._load()
+        return journal
+
+    # -- persistence -------------------------------------------------------
+
+    def _discard(self) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        lines = text.splitlines()
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            return
+        if header.get("journal") != JOURNAL_VERSION or header.get("grid_key") != self.key:
+            # A different grid or format hashed to this path (or the file
+            # predates a format change): start over rather than misapply it.
+            return
+        for line in lines[1:]:
+            try:
+                entry = JournalEntry.from_dict(json.loads(line))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                continue  # torn tail line: the rep simply re-runs
+            self._entries[(entry.name, entry.rep)] = entry
+        self.resumed_entries = len(self._entries)
+
+    def _flush(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [json.dumps({"journal": JOURNAL_VERSION, "grid_key": self.key})]
+        lines.extend(json.dumps(e.as_dict()) for e in self._entries.values())
+        fd, tmp = tempfile.mkstemp(dir=self.path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write("\n".join(lines) + "\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- recording ---------------------------------------------------------
+
+    def get(self, name: str, rep: int) -> Optional[JournalEntry]:
+        return self._entries.get((name, rep))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record_success(self, name: str, rep: int, seed: int, fingerprint: str) -> None:
+        entry = JournalEntry(name=name, rep=rep, seed=seed, status="ok", fingerprint=fingerprint)
+        existing = self._entries.get((name, rep))
+        if existing == entry:
+            return  # e.g. a cache hit re-confirming a journaled rep
+        self._entries[(name, rep)] = entry
+        self._flush()
+
+    def record_failure(self, failure: RepFailure) -> None:
+        self._entries[(failure.name, failure.rep)] = JournalEntry(
+            name=failure.name,
+            rep=failure.rep,
+            seed=failure.seed,
+            status="failed",
+            failure=failure,
+        )
+        self._flush()

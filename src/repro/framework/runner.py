@@ -13,11 +13,12 @@ completed repetitions across sessions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, TextIO, TYPE_CHECKING
 
 from repro.framework.config import ExperimentConfig
 from repro.framework.experiment import Experiment, ExperimentResult
+from repro.framework.supervision import RepFailure, SupervisionPolicy
 from repro.metrics.stats import Summary, summarize
 from repro.net.tap import CaptureRecord
 from repro.sim.random import derive_seed
@@ -39,6 +40,10 @@ class RunSummary:
     results: List[ExperimentResult]
     goodput: Summary
     dropped: Summary
+    #: Repetitions that produced no valid result (crash, hang, validation
+    #: failure, quarantine), as structured records — a sweep degrades to a
+    #: partial summary instead of raising.
+    failures: List[RepFailure] = field(default_factory=list)
 
     @property
     def pooled_records(self) -> List[List[CaptureRecord]]:
@@ -47,25 +52,37 @@ class RunSummary:
 
     @property
     def all_completed(self) -> bool:
-        return all(r.completed for r in self.results)
+        return not self.failures and all(r.completed for r in self.results)
 
     def describe(self) -> str:
-        return (
+        line = (
             f"{self.config.label}: goodput {self.goodput} Mbit/s, "
             f"dropped {self.dropped} packets, reps={len(self.results)}"
         )
+        if self.failures:
+            line += f", FAILED reps={len(self.failures)}"
+        return line
 
 
 def summarize_results(
-    config: ExperimentConfig, results: Sequence[ExperimentResult]
+    config: ExperimentConfig,
+    results: Sequence[Optional[ExperimentResult]],
+    failures: Sequence[RepFailure] = (),
 ) -> RunSummary:
-    """Aggregate per-repetition results into the paper's mean ± std summary."""
-    results = list(results)
+    """Aggregate per-repetition results into the paper's mean ± std summary.
+
+    ``results`` may contain ``None`` slots for failed repetitions (described
+    by ``failures``); statistics cover the surviving results only, and an
+    all-failed run summarizes to NaN rather than raising.
+    """
+    survivors = [r for r in results if r is not None]
+    nan = Summary(mean=float("nan"), std=float("nan"), n=0)
     return RunSummary(
         config=config,
-        results=results,
-        goodput=summarize([r.goodput_mbps for r in results]),
-        dropped=summarize([float(r.dropped) for r in results]),
+        results=survivors,
+        goodput=summarize([r.goodput_mbps for r in survivors]) if survivors else nan,
+        dropped=summarize([float(r.dropped) for r in survivors]) if survivors else nan,
+        failures=list(failures),
     )
 
 
@@ -78,6 +95,9 @@ def run_repetitions(
     workers: Optional[int] = None,
     cache: Optional["ResultCache"] = None,
     stream: Optional[TextIO] = None,
+    policy: Optional[SupervisionPolicy] = None,
+    journal_dir: Optional[str] = None,
+    resume: bool = True,
 ) -> RunSummary:
     """Run ``config.repetitions`` measurements with derived per-rep seeds.
 
@@ -85,11 +105,18 @@ def run_repetitions(
     pending repetition) falls back to running serially in-process instead of
     spawning a pool. Serial and parallel runs are bit-identical. ``cache``
     serves previously-computed repetitions from disk; ``stream`` receives one
-    structured progress line per finished repetition.
+    structured progress line per finished repetition. ``policy`` supervises
+    execution (timeouts, retries, crash recovery); ``journal_dir`` enables
+    checkpoint/resume (see :class:`~repro.framework.sweep.SweepRunner`).
     """
     from repro.framework.sweep import SweepRunner
 
-    summaries = SweepRunner(workers=workers, cache=cache, stream=stream).run(
-        {config.label: config}
-    )
+    summaries = SweepRunner(
+        workers=workers,
+        cache=cache,
+        stream=stream,
+        policy=policy,
+        journal_dir=journal_dir,
+        resume=resume,
+    ).run({config.label: config})
     return summaries[config.label]

@@ -1,5 +1,5 @@
 """Parallel sweep execution: fan a ``{name: ExperimentConfig}`` grid across a
-shared process pool at per-repetition granularity.
+shared process pool at per-repetition granularity, under supervision.
 
 This is the execution substrate for grid-style reproduction (the paper's
 4 stacks × 3 CCAs × 4 qdiscs × 3 GSO modes evaluation): every (config,
@@ -10,10 +10,29 @@ bit-identical to a serial run — per-rep seeds come from
 :func:`~repro.framework.runner.derive_seed` either way, and repetitions are
 reassembled in order regardless of completion order.
 
-A :class:`~repro.framework.cache.ResultCache` short-circuits repetitions that
-a previous session already computed; fresh results are stored back so the
-next session starts warm. Progress is streamed as one structured line per
-finished repetition (config label, rep, sim-time, wall-time, events/sec from
+Robustness. Execution runs under a
+:class:`~repro.framework.supervision.Supervisor`: per-repetition wall-clock
+timeouts, bounded retries that reuse the repetition's derived seed (so a
+retried success is bit-identical to a first-attempt one), ``BrokenProcessPool``
+recovery that restarts the pool instead of discarding in-flight work, and
+quarantine of configurations that fail repeatedly. A sweep therefore *always
+returns*: failed repetitions surface as structured
+:class:`~repro.framework.supervision.RepFailure` entries on each
+:class:`~repro.framework.runner.RunSummary` rather than as an exception that
+loses the surviving grid. Every fresh or cached result is checked against the
+invariants in :mod:`repro.framework.validate` before it is cached or
+summarized.
+
+Checkpoint/resume. With ``journal_dir`` set, a
+:class:`~repro.framework.journal.SweepJournal` records one atomic JSON line
+per settled repetition. An interrupted invocation re-run with the same grid
+resumes where it stopped: journaled successes are restored through the
+:class:`~repro.framework.cache.ResultCache` (or recomputed bit-identically on
+a cache miss), and journaled failures are carried forward instead of being
+retried. ``resume=False`` discards the journal and starts over.
+
+Progress is streamed as one structured line per finished repetition (config
+label, rep, sim-time, wall-time, events/sec from
 ``Simulator.events_processed``), conventionally to stderr so stdout stays a
 clean report.
 """
@@ -21,13 +40,21 @@ clean report.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Dict, List, Mapping, Optional, TextIO
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, TextIO, Union
 
 from repro.framework.cache import ResultCache
 from repro.framework.config import ExperimentConfig
 from repro.framework.experiment import ExperimentResult
+from repro.framework.journal import SweepJournal
 from repro.framework.runner import RunSummary, _run_one, derive_seed, summarize_results
+from repro.framework.supervision import (
+    RepFailure,
+    RepTask,
+    SupervisionPolicy,
+    Supervisor,
+)
+from repro.framework.validate import validate_result
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -38,13 +65,21 @@ def resolve_workers(workers: Optional[int]) -> int:
 
 
 class SweepRunner:
-    """Runs experiment grids with caching, parallel fan-out, and progress.
+    """Runs experiment grids with caching, supervision, and checkpointing.
 
     ``workers=None`` uses ``os.cpu_count()``. With one worker — or a single
     pending repetition — execution falls back to the serial in-process path
     (no subprocesses), which is byte-for-byte equivalent and simpler to
-    debug. ``stream`` (e.g. ``sys.stderr``) receives one progress line per
-    finished repetition.
+    debug (but cannot enforce ``policy.timeout_s``; hung repetitions need
+    ``workers >= 2``). ``stream`` (e.g. ``sys.stderr``) receives one progress
+    line per finished repetition.
+
+    ``policy=None`` uses the default :class:`SupervisionPolicy` (no timeout,
+    two retries, quarantine after three consecutive failures).
+    ``journal_dir`` names a directory for the sweep's checkpoint journal
+    (keyed by grid content); ``resume=False`` discards any prior journal.
+    ``run_fn`` is the per-repetition worker function — a seam for chaos
+    tests, which substitute crashing/hanging stand-ins.
     """
 
     def __init__(
@@ -52,58 +87,110 @@ class SweepRunner:
         workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         stream: Optional[TextIO] = None,
+        policy: Optional[SupervisionPolicy] = None,
+        journal_dir: Optional[Union[str, Path]] = None,
+        resume: bool = True,
+        validate: bool = True,
+        run_fn=_run_one,
     ):
         self.workers = resolve_workers(workers)
         self.cache = cache
         self.stream = stream
+        self.policy = policy if policy is not None else SupervisionPolicy()
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        self.resume = resume
+        self.validate = validate
+        self.run_fn = run_fn
+        if self.cache is not None and self.cache.stream is None:
+            self.cache.stream = stream
 
     def run(self, grid: Mapping[str, ExperimentConfig]) -> Dict[str, RunSummary]:
         """Run every repetition of every named config; summaries keep grid order."""
         for config in grid.values():
             config.validate()
+        journal = (
+            SweepJournal.for_grid(self.journal_dir, grid, fresh=not self.resume)
+            if self.journal_dir is not None
+            else None
+        )
         slots: Dict[str, List[Optional[ExperimentResult]]] = {
             name: [None] * config.repetitions for name, config in grid.items()
         }
-        pending = []  # (name, config, rep, seed) still to simulate
+        failures: Dict[str, List[RepFailure]] = {name: [] for name in grid}
+        pending: List[RepTask] = []
         for name, config in grid.items():
             for rep in range(config.repetitions):
                 seed = derive_seed(config.seed, rep)
+                entry = journal.get(name, rep) if journal is not None else None
+                if entry is not None and entry.status == "failed" and entry.failure:
+                    # Carried forward from the interrupted run; re-run it by
+                    # resuming with --no-resume (or deleting the journal).
+                    failures[name].append(entry.failure)
+                    self._emit_line(
+                        f"[sweep] {name} rep {rep + 1}/{config.repetitions}: "
+                        f"FAILED previously ({entry.failure.error_type}) [journal]"
+                    )
+                    continue
                 cached = self.cache.get(config, seed) if self.cache else None
+                if cached is not None and self.validate:
+                    try:
+                        validate_result(cached)
+                    except Exception as exc:
+                        # A torn or stale entry that still unpickled:
+                        # quarantine it and recompute.
+                        self.cache.invalidate(config, seed, reason=str(exc))
+                        cached = None
                 if cached is not None:
                     slots[name][rep] = cached
+                    if journal is not None:
+                        journal.record_success(name, rep, seed, cached.fingerprint())
                     self._emit(name, config, rep, cached, cached_hit=True)
                 else:
-                    pending.append((name, config, rep, seed))
+                    pending.append(RepTask(name=name, config=config, rep=rep, seed=seed))
 
-        if len(pending) > 1 and self.workers > 1:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                futures = {
-                    pool.submit(_run_one, config, seed): (name, config, rep)
-                    for name, config, rep, seed in pending
-                }
-                for future in as_completed(futures):
-                    name, config, rep = futures[future]
-                    self._finish(slots, name, config, rep, future.result())
-        else:
-            for name, config, rep, seed in pending:
-                self._finish(slots, name, config, rep, _run_one(config, seed))
+        if pending:
+            supervisor = Supervisor(
+                self.policy,
+                run_fn=self.run_fn,
+                validate_fn=validate_result if self.validate else None,
+            )
+
+            def on_success(task: RepTask, result: ExperimentResult) -> None:
+                slots[task.name][task.rep] = result
+                if self.cache is not None:
+                    self.cache.put(task.config, result.seed, result)
+                if journal is not None:
+                    fingerprint = result.fingerprint()
+                    prior = journal.get(task.name, task.rep)
+                    if (
+                        prior is not None
+                        and prior.fingerprint
+                        and prior.fingerprint != fingerprint
+                    ):
+                        self._emit_line(
+                            f"[sweep] warning: {task.name} rep {task.rep} recomputed "
+                            f"with a different fingerprint than the journaled run "
+                            f"(determinism regression?)"
+                        )
+                    journal.record_success(task.name, task.rep, task.seed, fingerprint)
+                self._emit(task.name, task.config, task.rep, result, cached_hit=False)
+
+            def on_failure(task: RepTask, failure: RepFailure) -> None:
+                failures[task.name].append(failure)
+                if journal is not None:
+                    journal.record_failure(failure)
+                self._emit_line(f"[sweep] {failure.describe()}")
+
+            supervisor.run(pending, self.workers, on_success, on_failure)
 
         return {
-            name: summarize_results(config, slots[name]) for name, config in grid.items()
+            name: summarize_results(config, slots[name], failures[name])
+            for name, config in grid.items()
         }
 
-    def _finish(
-        self,
-        slots: Dict[str, List[Optional[ExperimentResult]]],
-        name: str,
-        config: ExperimentConfig,
-        rep: int,
-        result: ExperimentResult,
-    ) -> None:
-        slots[name][rep] = result
-        if self.cache is not None:
-            self.cache.put(config, result.seed, result)
-        self._emit(name, config, rep, result, cached_hit=False)
+    def _emit_line(self, line: str) -> None:
+        if self.stream is not None:
+            print(line, file=self.stream, flush=True)
 
     def _emit(
         self,
@@ -131,6 +218,16 @@ def run_sweep(
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     stream: Optional[TextIO] = None,
+    policy: Optional[SupervisionPolicy] = None,
+    journal_dir: Optional[Union[str, Path]] = None,
+    resume: bool = True,
 ) -> Dict[str, RunSummary]:
     """Convenience wrapper: build a :class:`SweepRunner` and run ``grid``."""
-    return SweepRunner(workers=workers, cache=cache, stream=stream).run(grid)
+    return SweepRunner(
+        workers=workers,
+        cache=cache,
+        stream=stream,
+        policy=policy,
+        journal_dir=journal_dir,
+        resume=resume,
+    ).run(grid)

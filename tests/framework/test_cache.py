@@ -75,6 +75,32 @@ def test_corrupted_entry_falls_back(tmp_path, result):
     assert not path.exists()
 
 
+def test_eviction_quarantines_instead_of_deleting(tmp_path, result):
+    import io
+
+    stream = io.StringIO()
+    cache = ResultCache(tmp_path, stream=stream)
+    path = cache.put(CFG, result.seed, result)
+    path.write_bytes(b"not a pickle")
+    assert cache.get(CFG, result.seed) is None
+    moved = tmp_path / "quarantine" / path.name
+    assert moved.exists() and moved.read_bytes() == b"not a pickle"
+    assert cache.stats.evictions == 1
+    assert cache.stats.quarantined == 1
+    assert cache.stats.as_dict()["quarantined"] == 1
+    warning = stream.getvalue()
+    assert "quarantined" in warning and path.name in warning
+
+
+def test_invalidate_quarantines_on_demand(tmp_path, result):
+    cache = ResultCache(tmp_path)
+    path = cache.put(CFG, result.seed, result)
+    cache.invalidate(CFG, result.seed, reason="failed validation")
+    assert not path.exists()
+    assert (tmp_path / "quarantine" / path.name).exists()
+    assert cache.get(CFG, result.seed) is None  # miss -> recompute
+
+
 def test_wrong_payload_type_rejected(tmp_path, result):
     cache = ResultCache(tmp_path)
     path = cache.put(CFG, result.seed, result)

@@ -1,0 +1,174 @@
+"""Chaos acceptance: a sweep survives injected crashes, hangs, and a
+mid-run kill, and the surviving/resumed repetitions are bit-identical
+(``fingerprint()``) to an uninterrupted serial run.
+
+The chaotic worker functions wrap the real ``_run_one`` and consult marker
+files under ``$REPRO_CHAOS_DIR`` (inherited by pool workers), so each fault
+fires exactly once and the retry — which reuses the repetition's derived
+seed — must reproduce the clean result bit for bit.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.framework.cache import ResultCache
+from repro.framework.config import ExperimentConfig, NetworkConfig
+from repro.framework.runner import _run_one
+from repro.framework.supervision import SupervisionPolicy
+from repro.framework.sweep import SweepRunner
+from repro.net.impairments import iid_loss
+from repro.units import kib
+
+FAST = SupervisionPolicy(timeout_s=20.0, retries=2, backoff_base_s=0.0, poll_interval_s=0.02)
+
+
+def _grid():
+    # Small but impaired, per the chaos-smoke brief: loss on one config.
+    return {
+        "clean": ExperimentConfig(stack="quiche", file_size=kib(150), repetitions=2),
+        "lossy": ExperimentConfig(
+            stack="quiche",
+            file_size=kib(150),
+            repetitions=2,
+            network=NetworkConfig(forward_impairments=(iid_loss(0.02),)),
+        ),
+    }
+
+
+def _fingerprints(summaries):
+    return {
+        name: [r.fingerprint() for r in summary.results]
+        for name, summary in summaries.items()
+    }
+
+
+def _chaos_marker(tag: str) -> Path:
+    return Path(os.environ["REPRO_CHAOS_DIR"]) / tag
+
+
+def crash_once_run_one(config, seed):
+    """First execution of the 'lossy' config's rep 0 kills its worker."""
+    marker = _chaos_marker(f"crashed-{seed}")
+    if config.network.forward_impairments and not marker.exists():
+        marker.touch()
+        os._exit(23)
+    return _run_one(config, seed)
+
+
+def hang_once_run_one(config, seed):
+    """First execution of the 'lossy' config's rep 0 hangs past the timeout."""
+    marker = _chaos_marker(f"hung-{seed}")
+    if config.network.forward_impairments and not marker.exists():
+        marker.touch()
+        time.sleep(120)
+    return _run_one(config, seed)
+
+
+def interrupted_run_one(config, seed):
+    """Simulates the operator killing the sweep after two settled reps."""
+    done = len(list(Path(os.environ["REPRO_CHAOS_DIR"]).glob("settled-*")))
+    if done >= 2:
+        raise KeyboardInterrupt
+    result = _run_one(config, seed)
+    _chaos_marker(f"settled-{seed}").touch()
+    return result
+
+
+@pytest.fixture(scope="module")
+def clean_serial():
+    """The uninterrupted ground truth every chaotic run must reproduce."""
+    return SweepRunner(workers=1).run(_grid())
+
+
+@pytest.fixture
+def chaos_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path / "chaos"))
+    (tmp_path / "chaos").mkdir()
+    return tmp_path
+
+
+def test_sweep_survives_worker_crash(chaos_dir, clean_serial):
+    summaries = SweepRunner(
+        workers=2, policy=FAST, run_fn=crash_once_run_one
+    ).run(_grid())
+    assert _fingerprints(summaries) == _fingerprints(clean_serial)
+    assert all(not s.failures for s in summaries.values())
+
+
+def test_sweep_survives_hung_worker(chaos_dir, clean_serial):
+    policy = SupervisionPolicy(
+        timeout_s=3.0, retries=2, backoff_base_s=0.0, poll_interval_s=0.02
+    )
+    summaries = SweepRunner(
+        workers=2, policy=policy, run_fn=hang_once_run_one
+    ).run(_grid())
+    assert _fingerprints(summaries) == _fingerprints(clean_serial)
+
+
+def test_killed_sweep_resumes_bit_identically(chaos_dir, clean_serial):
+    cache = ResultCache(chaos_dir / "cache")
+    journal_dir = chaos_dir / "journals"
+    with pytest.raises(KeyboardInterrupt):
+        SweepRunner(
+            workers=1,
+            cache=cache,
+            journal_dir=journal_dir,
+            run_fn=interrupted_run_one,
+        ).run(_grid())
+    settled = len(list((chaos_dir / "chaos").glob("settled-*")))
+    assert settled == 2  # the kill really landed mid-sweep
+    assert cache.stats.stores == 2
+
+    # Resume: journaled reps come back from the cache, the rest run fresh.
+    resumed_cache = ResultCache(chaos_dir / "cache")
+    summaries = SweepRunner(
+        workers=1, cache=resumed_cache, journal_dir=journal_dir
+    ).run(_grid())
+    assert resumed_cache.stats.hits == 2
+    assert resumed_cache.stats.stores == 2  # only the remaining reps computed
+    assert _fingerprints(summaries) == _fingerprints(clean_serial)
+
+
+def test_journaled_failures_carry_forward_until_no_resume(chaos_dir):
+    """A rep that exhausts retries is recorded, carried forward on resume,
+    and re-run (successfully) only when the operator passes fresh=True."""
+
+    grid = _grid()
+    cache = ResultCache(chaos_dir / "cache")
+    journal_dir = chaos_dir / "journals"
+    # The poison config crashes on every attempt; crash attribution must
+    # shield the clean config's reps — an ambiguous pool crash re-runs the
+    # in-flight suspects alone instead of charging them retry budget.
+    policy = SupervisionPolicy(retries=1, backoff_base_s=0.0, poll_interval_s=0.02)
+    summaries = SweepRunner(
+        workers=2, cache=cache, journal_dir=journal_dir, policy=policy,
+        run_fn=always_crash_lossy_run_one,
+    ).run(grid)
+    assert len(summaries["lossy"].failures) == 2
+    assert summaries["lossy"].failures[0].error_type == "WorkerCrashError"
+    assert not summaries["clean"].failures
+
+    # Resume without clearing: failures are carried forward, nothing re-runs.
+    carried = SweepRunner(
+        workers=2, cache=ResultCache(chaos_dir / "cache"), journal_dir=journal_dir,
+        policy=policy, run_fn=always_crash_lossy_run_one,
+    ).run(grid)
+    assert len(carried["lossy"].failures) == 2
+    assert carried["lossy"].failures[0].error_type == "WorkerCrashError"
+
+    # --no-resume: the journal is discarded and the reps run for real.
+    healed = SweepRunner(
+        workers=2, cache=ResultCache(chaos_dir / "cache"), journal_dir=journal_dir,
+        resume=False, policy=policy,
+    ).run(grid)
+    assert not healed["lossy"].failures
+    assert len(healed["lossy"].results) == 2
+
+
+def always_crash_lossy_run_one(config, seed):
+    if config.network.forward_impairments:
+        os._exit(29)
+    return _run_one(config, seed)

@@ -72,6 +72,34 @@ def test_sweep_command(capsys, tmp_path):
     assert "cache: 0 hits, 4 misses, 4 stores" in captured.err
 
 
+def test_invalid_config_exits_2_with_one_line_message(capsys):
+    rc = main(["run", "quiche", "--size-mib", "0.25", "--reps", "0", "--no-cache"])
+    assert rc == 2
+    captured = capsys.readouterr()
+    assert captured.err.strip() == "error: repetitions must be positive, got 0"
+    assert "Traceback" not in captured.err
+
+
+def test_supervision_flags_are_accepted(capsys, tmp_path):
+    rc = main(
+        ["run", "quiche", "--size-mib", "0.25", "--timeout", "60", "--retries", "1",
+         "--no-resume", "--cache-dir", str(tmp_path / "cache")]
+    )
+    assert rc == 0
+    assert "goodput" in capsys.readouterr().out
+
+
+def test_sweep_resume_serves_journaled_reps_from_cache(capsys, tmp_path):
+    argv = ["sweep", "baselines", "--size-mib", "0.25", "--reps", "1",
+            "--cache-dir", str(tmp_path / "cache"), "--workers", "1"]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert main(argv) == 0  # resume: everything is journaled + cached
+    warm = capsys.readouterr()
+    assert "4 hits" in warm.err
+    assert "[cached]" in warm.err
+
+
 def test_compete_command(capsys):
     rc = main(["compete", "quiche:cubic:fq", "tcp", "--size-mib", "0.25", "--seed", "2"])
     assert rc == 0

@@ -52,6 +52,38 @@ class TestExperimentConfig:
         with pytest.raises(ConfigError):
             ExperimentConfig(stack="tcp", gso="on").validate()
 
+    @pytest.mark.parametrize("field,value", [
+        ("file_size", -5),
+        ("repetitions", 0),
+        ("objects", 0),
+        ("gso_segments", 0),
+        ("etf_delta_ns", -1),
+        ("max_sim_time_ns", 0),
+        ("client_ack_threshold", 0),
+        ("bucket_packets", 0),
+    ])
+    def test_errors_name_the_offending_field_and_value(self, field, value):
+        with pytest.raises(ConfigError) as excinfo:
+            ExperimentConfig(**{field: value}).validate()
+        assert field in str(excinfo.value)
+        assert str(value) in str(excinfo.value)
+
+    @pytest.mark.parametrize("field,value", [
+        ("link_rate_bps", 0),
+        ("bottleneck_rate_bps", -1),
+        ("wifi_phy_rate_bps", 0),
+        ("one_way_delay_ns", -1),
+        ("wifi_access_overhead_ns", -1),
+        ("buffer_bdp_multiplier", 0),
+        ("tbf_burst_bytes", 0),
+        ("wifi_max_aggregate", 0),
+    ])
+    def test_network_errors_name_the_offending_field(self, field, value):
+        with pytest.raises(ConfigError) as excinfo:
+            ExperimentConfig(network=NetworkConfig(**{field: value})).validate()
+        assert field in str(excinfo.value)
+        assert str(value) in str(excinfo.value)
+
     def test_label_encodes_variant(self):
         cfg = ExperimentConfig(stack="quiche", qdisc="fq", gso="paced", spurious_rollback=False)
         assert cfg.label == "quiche/cubic/fq/gso-paced/sf"

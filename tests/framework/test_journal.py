@@ -1,0 +1,102 @@
+"""Sweep journal: atomic manifest, tolerant loading, grid keying."""
+
+import json
+
+from repro.framework.config import ExperimentConfig
+from repro.framework.journal import JOURNAL_VERSION, SweepJournal, grid_key
+from repro.framework.supervision import RepFailure
+from repro.units import kib
+
+GRID = {
+    "a": ExperimentConfig(stack="quiche", file_size=kib(150), repetitions=2),
+    "b": ExperimentConfig(stack="tcp", file_size=kib(150), repetitions=2),
+}
+
+
+def _failure(name="a", rep=1):
+    return RepFailure(
+        name=name, label=name, rep=rep, seed=99, error_type="WorkerCrashError",
+        message="pool died", traceback="tb", attempts=3, wall_time_s=2.5,
+    )
+
+
+def test_grid_key_sees_names_configs_and_repetitions():
+    base = grid_key(GRID)
+    renamed = {"a2": GRID["a"], "b": GRID["b"]}
+    assert grid_key(renamed) != base
+    import dataclasses
+
+    grown = dict(GRID, a=dataclasses.replace(GRID["a"], repetitions=5))
+    assert grid_key(grown) != base
+    assert grid_key(dict(reversed(list(GRID.items())))) == base  # order-free
+
+
+def test_round_trip_success_and_failure(tmp_path):
+    journal = SweepJournal.for_grid(tmp_path, GRID)
+    journal.record_success("a", 0, 1234, "fp-a0")
+    journal.record_failure(_failure())
+
+    reloaded = SweepJournal.for_grid(tmp_path, GRID)
+    assert len(reloaded) == 2
+    assert reloaded.resumed_entries == 2
+    ok = reloaded.get("a", 0)
+    assert ok.status == "ok" and ok.fingerprint == "fp-a0" and ok.seed == 1234
+    failed = reloaded.get("a", 1)
+    assert failed.status == "failed"
+    assert failed.failure == _failure()
+
+
+def test_journal_is_a_single_parseable_snapshot(tmp_path):
+    journal = SweepJournal.for_grid(tmp_path, GRID)
+    journal.record_success("a", 0, 1, "fp")
+    journal.record_success("b", 1, 2, "fp2")
+    lines = journal.path.read_text().splitlines()
+    header = json.loads(lines[0])
+    assert header == {"journal": JOURNAL_VERSION, "grid_key": grid_key(GRID)}
+    assert all(json.loads(line) for line in lines[1:])
+    assert len(lines) == 3
+
+
+def test_torn_line_is_skipped(tmp_path):
+    journal = SweepJournal.for_grid(tmp_path, GRID)
+    journal.record_success("a", 0, 1, "fp")
+    journal.record_success("a", 1, 2, "fp2")
+    text = journal.path.read_text().splitlines()
+    journal.path.write_text("\n".join(text[:-1]) + "\n" + text[-1][: len(text[-1]) // 2])
+    reloaded = SweepJournal.for_grid(tmp_path, GRID)
+    assert reloaded.get("a", 0) is not None
+    assert reloaded.get("a", 1) is None  # torn entry simply re-runs
+
+
+def test_mismatched_grid_starts_fresh(tmp_path):
+    journal = SweepJournal.for_grid(tmp_path, GRID)
+    journal.record_success("a", 0, 1, "fp")
+    # Same path, different claimed grid key: entries must not be misapplied.
+    imposter = SweepJournal(journal.path, "different-key")
+    imposter._load()
+    assert len(imposter) == 0
+
+
+def test_fresh_discards_previous_run(tmp_path):
+    journal = SweepJournal.for_grid(tmp_path, GRID)
+    journal.record_failure(_failure())
+    fresh = SweepJournal.for_grid(tmp_path, GRID, fresh=True)
+    assert len(fresh) == 0
+    assert not fresh.path.exists()
+
+
+def test_rerecord_identical_success_is_a_noop(tmp_path):
+    journal = SweepJournal.for_grid(tmp_path, GRID)
+    journal.record_success("a", 0, 1, "fp")
+    mtime = journal.path.stat().st_mtime_ns
+    journal.record_success("a", 0, 1, "fp")
+    assert journal.path.stat().st_mtime_ns == mtime  # no rewrite churn
+
+
+def test_failure_then_success_overwrites(tmp_path):
+    journal = SweepJournal.for_grid(tmp_path, GRID)
+    journal.record_failure(_failure(rep=0))
+    journal.record_success("a", 0, 99, "fp-after-retry")
+    assert journal.get("a", 0).status == "ok"
+    reloaded = SweepJournal.for_grid(tmp_path, GRID)
+    assert reloaded.get("a", 0).status == "ok"
