@@ -1,0 +1,40 @@
+"""Performance benchmark suite.
+
+Unlike the figure benchmarks in ``benchmarks/``, which reproduce the paper's
+*results*, this package measures the *machinery*: how fast the event engine,
+qdiscs, capture path, and metrics pipeline run, and how long one end-to-end
+experiment takes. ``python -m benchmarks.perf.run`` executes everything and
+writes a ``BENCH_<n>.json`` record; ``python -m benchmarks.perf.check``
+compares such a record against the committed ``baseline.json`` and fails on
+regression (the CI ``perf-smoke`` job wires the two together).
+
+Timing method: every benchmark reports the *best* of several repetitions.
+The minimum is the closest observable to the true cost of the code — every
+other sample is the same work plus scheduler noise — and is the only robust
+statistic on shared CI machines.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+
+def best_of(fn: Callable[[], int], repeats: int = 3) -> Dict[str, float]:
+    """Run ``fn`` (returning an op count) ``repeats`` times; keep the best.
+
+    Returns ``{"ops": n, "seconds": best, "ops_per_sec": n / best}``.
+    """
+    best = None
+    ops = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        ops = fn()
+        dt = time.perf_counter() - t0
+        if best is None or dt < best:
+            best = dt
+    return {
+        "ops": ops,
+        "seconds": round(best, 6),
+        "ops_per_sec": round(ops / best, 1) if best > 0 else float("inf"),
+    }

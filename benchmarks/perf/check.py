@@ -1,0 +1,70 @@
+"""Regression gate: compare a BENCH record against the committed baseline.
+
+Usage::
+
+    python -m benchmarks.perf.check BENCH_5.json [--baseline baseline.json]
+        [--tolerance 0.30]
+
+Fails (exit 1) when any microbenchmark's ops/sec drops more than
+``tolerance`` below the baseline, or the end-to-end wall-clock at a matching
+scale exceeds the baseline by more than ``tolerance``. The default 30 %
+margin absorbs host-to-host variation on CI runners; a real hot-path
+regression (a reintroduced per-event allocation, an accidental O(n log n)
+re-sort) moves these numbers far more than that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "baseline.json"
+
+
+def compare(result: dict, baseline: dict, tolerance: float) -> list[str]:
+    failures: list[str] = []
+    base_micro = baseline.get("micro", {})
+    for name, rec in result.get("micro", {}).items():
+        base = base_micro.get(name)
+        if base is None:
+            continue
+        floor = base["ops_per_sec"] * (1.0 - tolerance)
+        if rec["ops_per_sec"] < floor:
+            failures.append(
+                f"micro/{name}: {rec['ops_per_sec']:,.0f} ops/s is more than "
+                f"{tolerance:.0%} below baseline {base['ops_per_sec']:,.0f}"
+            )
+    e2e = result.get("e2e")
+    base_e2e = baseline.get("e2e", {})
+    entry = base_e2e.get(str(e2e["scale_mib"])) if e2e else None
+    if e2e and entry:
+        ceiling = entry["wall_s"] * (1.0 + tolerance)
+        if e2e["wall_s"] > ceiling:
+            failures.append(
+                f"e2e@{e2e['scale_mib']:g}MiB: {e2e['wall_s']:.3f}s is more "
+                f"than {tolerance:.0%} above baseline {entry['wall_s']:.3f}s"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("result", help="BENCH_<n>.json produced by run.py")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    args = parser.parse_args(argv)
+
+    result = json.loads(Path(args.result).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    failures = compare(result, baseline, args.tolerance)
+    if failures:
+        for f in failures:
+            print(f"PERF REGRESSION: {f}")
+        return 1
+    print(f"perf check: OK (within {args.tolerance:.0%} of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

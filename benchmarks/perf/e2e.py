@@ -1,0 +1,49 @@
+"""End-to-end transfer timing.
+
+Runs one complete experiment — handshake, paced download through the TBF +
+netem bottleneck, capture, metrics-ready result — several times and reports
+the best wall-clock, the simulator event count, and events/sec. This is the
+number the tentpole speedup claim is made against: ``pre_pr_wall_s`` in
+``baseline.json`` holds the same measurement taken on the pre-overhaul
+engine (commit 0460930), on the same machine, with the same method.
+
+Scale follows the figure benchmarks' ``REPRO_SCALE_MIB`` knob (default 4).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict
+
+from repro.framework.config import ExperimentConfig
+from repro.framework.experiment import run_experiment
+from repro.units import mib
+
+
+def scale_mib() -> float:
+    return float(os.environ.get("REPRO_SCALE_MIB", "4"))
+
+
+def bench_e2e(scale: float | None = None, seed: int = 1, runs: int = 5) -> Dict:
+    if scale is None:
+        scale = scale_mib()
+    cfg = ExperimentConfig(file_size=mib(scale))
+    times = []
+    result = None
+    for _ in range(runs):
+        t0 = time.perf_counter()
+        result = run_experiment(cfg, seed=seed)
+        times.append(time.perf_counter() - t0)
+    best = min(times)
+    return {
+        "scale_mib": scale,
+        "seed": seed,
+        "runs": runs,
+        "wall_s": round(best, 4),
+        "wall_s_all": [round(t, 4) for t in times],
+        "events": result.events_processed,
+        "events_per_sec": round(result.events_processed / best, 1),
+        "packets_on_wire": result.packets_on_wire,
+        "fingerprint": result.fingerprint(),
+    }

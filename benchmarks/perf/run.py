@@ -1,0 +1,77 @@
+"""Run the full perf suite and record a ``BENCH_<n>.json``.
+
+Usage::
+
+    python -m benchmarks.perf.run [--out BENCH_5.json] [--repeats 3] [--runs 5]
+
+The output JSON holds the microbenchmark ops/sec, the end-to-end wall-clock
+and events/sec at the current ``REPRO_SCALE_MIB``, and — when the committed
+baseline records a pre-overhaul time for that scale — the speedup over the
+pre-PR engine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+from pathlib import Path
+
+from benchmarks.perf.e2e import bench_e2e, scale_mib
+from benchmarks.perf.microbench import run_all
+
+BASELINE_PATH = Path(__file__).parent / "baseline.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_5.json", help="output JSON path")
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="repetitions per microbenchmark"
+    )
+    parser.add_argument(
+        "--runs", type=int, default=5, help="repetitions of the e2e transfer"
+    )
+    args = parser.parse_args(argv)
+
+    print(f"perf: microbenchmarks (best of {args.repeats}) ...")
+    micro = run_all(repeats=args.repeats)
+    for name, rec in micro.items():
+        print(f"  {name:24s} {rec['ops_per_sec']:>14,.0f} ops/s")
+
+    scale = scale_mib()
+    print(f"perf: end-to-end transfer at {scale:g} MiB (best of {args.runs}) ...")
+    e2e = bench_e2e(runs=args.runs)
+    print(
+        f"  wall {e2e['wall_s']:.3f}s  "
+        f"{e2e['events_per_sec']:,.0f} events/s  "
+        f"{e2e['packets_on_wire']} packets"
+    )
+
+    payload = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "micro": micro,
+        "e2e": e2e,
+    }
+
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        pre = baseline.get("pre_pr", {})
+        if pre.get("scale_mib") == e2e["scale_mib"]:
+            speedup = pre["wall_s"] / e2e["wall_s"]
+            payload["e2e"]["pre_pr_wall_s"] = pre["wall_s"]
+            payload["e2e"]["speedup_vs_pre_pr"] = round(speedup, 2)
+            print(
+                f"  speedup vs pre-PR engine ({pre['wall_s']:.3f}s): "
+                f"{speedup:.2f}x"
+            )
+
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"perf: wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -65,7 +65,8 @@ class CongestionController:
 
     def can_send(self, bytes_in_flight: int) -> int:
         """Bytes of congestion window still available."""
-        return max(0, self.cwnd - bytes_in_flight)
+        room = self.cwnd - bytes_in_flight
+        return room if room > 0 else 0
 
     def in_recovery(self, sent_time: int) -> bool:
         return sent_time <= self.recovery_start_time

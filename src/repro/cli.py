@@ -24,7 +24,7 @@ from repro.framework.multiflow import FlowSpec, MultiFlowExperiment
 from repro.framework.runner import RunSummary, run_repetitions
 from repro.framework.supervision import SupervisionPolicy
 from repro.framework.sweep import SweepRunner
-from repro.metrics.gaps import fraction_leq, inter_packet_gaps, pooled_gaps
+from repro.metrics.gaps import Distribution, fraction_leq, inter_packet_gaps, pooled_gaps
 from repro.metrics.report import render_histogram, render_table
 from repro.metrics.trains import (
     fraction_of_packets_in_trains_leq,
@@ -315,7 +315,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.metrics.capture_io import load_capture
-    from repro.metrics.gaps import cdf
     from repro.metrics.report import render_cdf
     from repro.metrics.timeline import analyze_cycle
 
@@ -328,9 +327,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     duration = records[-1].time_ns - records[0].time_ns
     print(f"{len(records)} frames over {fmt_time(duration)}")
 
-    gaps = inter_packet_gaps(records)
-    print(render_cdf({"gaps": cdf(gaps)}, title="inter-packet gap CDF"))
-    print(f"back-to-back share (<= 15 us): {fraction_leq(gaps, us(15)) * 100:.1f}%")
+    # One sort answers both the CDF and the back-to-back share.
+    gaps = Distribution(inter_packet_gaps(records))
+    print(render_cdf({"gaps": gaps.cdf()}, title="inter-packet gap CDF"))
+    print(f"back-to-back share (<= 15 us): {gaps.fraction_leq(us(15)) * 100:.1f}%")
     print(
         "packets in trains <= 5:        "
         f"{fraction_of_packets_in_trains_leq(records, 5) * 100:.1f}%"

@@ -15,13 +15,21 @@ from typing import Any, Dict
 from repro.framework.experiment import ExperimentResult
 from repro.framework.runner import RunSummary
 from repro.metrics.gaps import fraction_leq, inter_packet_gaps
-from repro.metrics.trains import fraction_of_packets_in_trains_leq, packets_by_train_length
+from repro.metrics.trains import packets_by_train_length
 from repro.units import us
 
 
 def result_to_dict(result: ExperimentResult, include_capture: bool = False) -> Dict[str, Any]:
     """Serialize one repetition (capture records optional — they are big)."""
     gaps = inter_packet_gaps(result.server_records)
+    # One train-detection pass feeds both the histogram and the <=5 share.
+    trains = packets_by_train_length(result.server_records)
+    train_total = sum(trains.values())
+    trains_leq5 = (
+        sum(count for length, count in trains.items() if length <= 5) / train_total
+        if train_total
+        else 0.0
+    )
     # asdict keeps tuples (e.g. the impairment specs); normalize to the JSON
     # data model so an in-memory dict equals its save/load round trip.
     config_dict = json.loads(json.dumps(dataclasses.asdict(result.config)))
@@ -40,9 +48,9 @@ def result_to_dict(result: ExperimentResult, include_capture: bool = False) -> D
         "server_stats": result.server_stats,
         "metrics": {
             "back_to_back_share": fraction_leq(gaps, us(15)),
-            "trains_leq5_share": fraction_of_packets_in_trains_leq(result.server_records, 5),
+            "trains_leq5_share": trains_leq5,
             "packets_by_train_length": {
-                str(k): v for k, v in sorted(packets_by_train_length(result.server_records).items())
+                str(k): v for k, v in sorted(trains.items())
             },
         },
     }

@@ -31,6 +31,7 @@ from repro.net.bottleneck import Bottleneck
 from repro.net.impairments import build_impairments
 from repro.net.link import Link
 from repro.net.nic import Nic
+from repro.kernel.socket import reset_gso_ids
 from repro.net.packet import reset_dgram_ids
 from repro.net.tap import CaptureRecord, FiberTap, Sniffer
 from repro.pacing.gso_policy import GsoPolicy
@@ -135,10 +136,11 @@ class Experiment:
         self.rngs = RngRegistry(self.seed)
         self.sim = Simulator()
         self.sniffer = Sniffer()
-        # Datagram ids must be a pure function of this run, not of earlier
-        # experiments in the same process (bit-identical serial/parallel/
-        # cached results depend on it).
+        # Datagram and GSO-buffer ids must be a pure function of this run,
+        # not of earlier experiments in the same process (bit-identical
+        # serial/parallel/cached results depend on it).
         reset_dgram_ids()
+        reset_gso_ids()
         self._build()
 
     # -- assembly ------------------------------------------------------------

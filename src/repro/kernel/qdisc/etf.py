@@ -86,7 +86,7 @@ class EtfQdisc(Qdisc):
             if self._timer.time <= wake_at:
                 return
             self._timer.cancel()
-        self._timer = self.sim.schedule_at(wake_at, self._watchdog)
+        self._timer = self.sim.schedule_at_cancellable(wake_at, self._watchdog)
 
     def _watchdog(self) -> None:
         self._timer = None

@@ -22,16 +22,19 @@ from typing import Dict, Optional
 from repro.kernel.qdisc.base import Qdisc
 from repro.net.packet import Datagram, FlowTuple, PacketSink
 from repro.sim.clock import JitterModel
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import Simulator
 from repro.units import us
 
 
 class _Flow:
-    __slots__ = ("queue", "timer")
+    __slots__ = ("queue", "armed")
 
     def __init__(self) -> None:
         self.queue: deque[Datagram] = deque()
-        self.timer: Optional[EventHandle] = None
+        #: A release is scheduled for this flow's head packet. FQ never
+        #: cancels the release, so a bool keeps enqueue on the engine's
+        #: allocation-free scheduling path.
+        self.armed = False
 
 
 class FqQdisc(Qdisc):
@@ -81,14 +84,14 @@ class FqQdisc(Qdisc):
             return
         flow.queue.append(dgram)
         self._len += 1
-        if flow.timer is None:
+        if not flow.armed:
             self._schedule_head(dgram.flow, flow)
 
     # -- scheduling ------------------------------------------------------
 
     def _schedule_head(self, key: FlowTuple, flow: _Flow) -> None:
         if not flow.queue:
-            flow.timer = None
+            flow.armed = False
             if not flow.queue:
                 self._flows.pop(key, None)
             return
@@ -99,13 +102,14 @@ class FqQdisc(Qdisc):
             self.throttled_events += 1
         if release > self.sim.now:
             release += self.release_jitter.sample(self.rng)
-        flow.timer = self.sim.schedule_at(max(release, self.sim.now), self._release, key)
+        flow.armed = True
+        self.sim.schedule_at(max(release, self.sim.now), self._release, key)
 
     def _release(self, key: FlowTuple) -> None:
         flow = self._flows.get(key)
         if flow is None or not flow.queue:
             return
-        flow.timer = None
+        flow.armed = False
         dgram = flow.queue.popleft()
         self._len -= 1
         self.emit(dgram)

@@ -22,6 +22,19 @@ from repro.units import mib
 _gso_ids = itertools.count(1)
 
 
+def reset_gso_ids() -> None:
+    """Restart the GSO buffer id sequence.
+
+    Same rationale as :func:`repro.net.packet.reset_dgram_ids`: ``gso_id``
+    lands in capture records (and so in ``fingerprint()``), so a process-wide
+    counter would make a GSO run's results depend on how many GSO buffers
+    earlier experiments in the same interpreter sent. Each experiment resets
+    the sequence at construction.
+    """
+    global _gso_ids
+    _gso_ids = itertools.count(1)
+
+
 class SendSpec:
     """One datagram the application wants to write."""
 
@@ -78,6 +91,7 @@ class UdpSocket:
 
         self.remote_addr: Optional[str] = None
         self.remote_port: Optional[int] = None
+        self._flow: Optional[FlowTuple] = None
 
         self._cpu_free_at = 0
         self._rx: deque[Datagram] = deque()
@@ -94,19 +108,21 @@ class UdpSocket:
     def connect(self, remote_addr: str, remote_port: int) -> None:
         self.remote_addr = remote_addr
         self.remote_port = remote_port
+        self._flow = (self.local_addr, self.local_port, remote_addr, remote_port)
 
     @property
     def flow(self) -> FlowTuple:
-        if self.remote_addr is None or self.remote_port is None:
+        if self._flow is None:
             raise ConfigError("socket not connected")
-        return (self.local_addr, self.local_port, self.remote_addr, self.remote_port)
+        return self._flow
 
     # -- send path ---------------------------------------------------------
 
     def _charge(self, cost_ns: int) -> int:
         """Advance the thread's CPU timeline by ``cost_ns``; returns the
         instant the kernel work completes."""
-        start = max(self.sim.now, self._cpu_free_at)
+        now = self.sim.now
+        start = now if now > self._cpu_free_at else self._cpu_free_at
         self._cpu_free_at = start + cost_ns
         return self._cpu_free_at
 
@@ -212,10 +228,14 @@ class UdpSocket:
     # The network side addresses the socket as a PacketSink.
     receive = deliver
 
-    def recv_all(self) -> List[Datagram]:
-        """Drain the receive buffer (recvmmsg in a loop)."""
-        out = list(self._rx)
-        self._rx.clear()
+    def recv_all(self) -> "deque[Datagram]":
+        """Drain the receive buffer (recvmmsg in a loop).
+
+        Hands back the queue itself and starts a fresh one, so draining is
+        O(1) instead of copying every pending datagram.
+        """
+        out = self._rx
+        self._rx = deque()
         self._rx_bytes = 0
         return out
 

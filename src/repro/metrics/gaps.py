@@ -1,20 +1,36 @@
-"""Inter-packet gap analysis (paper Figure 2 / Figure 4 top rows)."""
+"""Inter-packet gap analysis (paper Figure 2 / Figure 4 top rows).
+
+Gap extraction accepts either the classic ``CaptureRecord`` sequences or the
+sniffer's columnar view (:class:`~repro.net.tap.CaptureColumns`), reading the
+raw time column directly in the latter case. Quantile queries share one sort
+via :class:`Distribution`; the free functions (``cdf``, ``percentile``,
+``fraction_leq``) remain for one-off calls and delegate to it.
+"""
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from bisect import bisect_right
+from itertools import islice
+from typing import List, Sequence, Tuple, Union
 
-from repro.net.tap import CaptureRecord
+from repro.net.tap import CaptureColumns, CaptureRecord
+
+Capture = Union[Sequence[CaptureRecord], CaptureColumns]
 
 
-def inter_packet_gaps(records: Sequence[CaptureRecord]) -> List[int]:
+def _times(records: Capture) -> Sequence[int]:
+    if isinstance(records, CaptureColumns):
+        return records.time_ns
+    return [r.time_ns for r in records]
+
+
+def inter_packet_gaps(records: Capture) -> List[int]:
     """Gaps (ns) between consecutive captured packets, in capture order."""
-    return [
-        records[i].time_ns - records[i - 1].time_ns for i in range(1, len(records))
-    ]
+    times = _times(records)
+    return [b - a for a, b in zip(times, islice(times, 1, None))]
 
 
-def pooled_gaps(groups: Sequence[Sequence[CaptureRecord]]) -> List[int]:
+def pooled_gaps(groups: Sequence[Capture]) -> List[int]:
     """Gaps pooled across capture groups (repetitions), computed per group.
 
     The paper combines all repetitions before computing the gap distribution;
@@ -28,20 +44,56 @@ def pooled_gaps(groups: Sequence[Sequence[CaptureRecord]]) -> List[int]:
     return out
 
 
+class Distribution:
+    """A value set sorted once, answering every quantile-style query.
+
+    ``cdf``/``percentile``/``fraction_leq`` each used to re-sort the full gap
+    list per call; analysis code queries all three on the same gaps, so the
+    shared sort is the dominant cost and is paid exactly once here.
+    """
+
+    __slots__ = ("_sorted",)
+
+    def __init__(self, values: Sequence[float]):
+        self._sorted = sorted(values)
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    def cdf(self, points: int = 200) -> Tuple[List[float], List[float]]:
+        """Empirical CDF sampled at ``points`` quantiles: returns (xs, ps)."""
+        ordered = self._sorted
+        if not ordered:
+            return [], []
+        n = len(ordered)
+        xs: List[float] = []
+        ps: List[float] = []
+        for i in range(points + 1):
+            p = i / points
+            idx = min(int(p * (n - 1)), n - 1)
+            xs.append(float(ordered[idx]))
+            ps.append(p)
+        return xs, ps
+
+    def percentile(self, p: float) -> float:
+        """p-quantile (0..1) with nearest-rank semantics."""
+        ordered = self._sorted
+        if not ordered:
+            raise ValueError("percentile of empty sequence")
+        idx = min(int(p * (len(ordered) - 1) + 0.5), len(ordered) - 1)
+        return float(ordered[idx])
+
+    def fraction_leq(self, threshold: float) -> float:
+        """Fraction of values <= threshold (e.g. back-to-back share)."""
+        ordered = self._sorted
+        if not ordered:
+            return 0.0
+        return bisect_right(ordered, threshold) / len(ordered)
+
+
 def cdf(values: Sequence[float], points: int = 200) -> Tuple[List[float], List[float]]:
     """Empirical CDF sampled at ``points`` quantiles: returns (xs, ps)."""
-    if not values:
-        return [], []
-    ordered = sorted(values)
-    n = len(ordered)
-    xs: List[float] = []
-    ps: List[float] = []
-    for i in range(points + 1):
-        p = i / points
-        idx = min(int(p * (n - 1)), n - 1)
-        xs.append(float(ordered[idx]))
-        ps.append(p)
-    return xs, ps
+    return Distribution(values).cdf(points)
 
 
 def fraction_leq(values: Sequence[float], threshold: float) -> float:
@@ -53,8 +105,4 @@ def fraction_leq(values: Sequence[float], threshold: float) -> float:
 
 def percentile(values: Sequence[float], p: float) -> float:
     """p-quantile (0..1) with nearest-rank semantics."""
-    if not values:
-        raise ValueError("percentile of empty sequence")
-    ordered = sorted(values)
-    idx = min(int(p * (len(ordered) - 1) + 0.5), len(ordered) - 1)
-    return float(ordered[idx])
+    return Distribution(values).percentile(p)

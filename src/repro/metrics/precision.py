@@ -5,19 +5,40 @@ and matches it with the *actual* wire timestamp from the sniffer by QUIC
 packet number. Because server and sniffer clocks are unsynchronized, the mean
 difference is meaningless; the **standard deviation** of the differences is
 the precision metric.
+
+Accepts ``CaptureRecord`` sequences or the sniffer's columnar view; the
+columnar path matches straight off the packet-number and time columns.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
-from repro.net.tap import CaptureRecord
+from repro.net.tap import CaptureColumns, CaptureRecord
+
+Capture = Union[Sequence[CaptureRecord], CaptureColumns]
+
+
+def _actual_by_pn(records: Capture) -> Dict[int, int]:
+    """First wire timestamp per packet number (first capture wins)."""
+    actual: Dict[int, int] = {}
+    if isinstance(records, CaptureColumns):
+        times = records.time_ns
+        for i, pn in enumerate(records.packet_number):
+            if pn >= 0 and pn not in actual:
+                actual[pn] = times[i]
+        return actual
+    for record in records:
+        pn = record.packet_number
+        if pn is not None and pn not in actual:
+            actual[pn] = record.time_ns
+    return actual
 
 
 def match_expected_actual(
     expected_log: Sequence[Tuple[int, int]],
-    records: Sequence[CaptureRecord],
+    records: Capture,
 ) -> List[int]:
     """Per-packet (actual - expected) send-time differences in ns.
 
@@ -25,10 +46,7 @@ def match_expected_actual(
     a qdisc) or were retransmitted under the same number are skipped on
     ambiguity (first capture wins, like the paper's evaluation scripts).
     """
-    actual_by_pn: Dict[int, int] = {}
-    for record in records:
-        if record.packet_number is not None and record.packet_number not in actual_by_pn:
-            actual_by_pn[record.packet_number] = record.time_ns
+    actual_by_pn = _actual_by_pn(records)
     diffs: List[int] = []
     for pn, expected_ns in expected_log:
         actual = actual_by_pn.get(pn)
@@ -39,7 +57,7 @@ def match_expected_actual(
 
 def pacing_precision_ns(
     expected_log: Sequence[Tuple[int, int]],
-    records: Sequence[CaptureRecord],
+    records: Capture,
 ) -> float:
     """Standard deviation of actual-vs-expected send times, in ns."""
     diffs = match_expected_actual(expected_log, records)

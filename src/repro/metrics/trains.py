@@ -4,40 +4,55 @@ A packet train is a maximal run of consecutive packets with at most 0.1 ms
 between each pair; a train of length one is a single, well-paced packet. The
 paper weights the distribution *by packets* ("distribution of packets across
 packet trains"), so a single 16-packet burst counts 16 packets at length 16.
+
+Like :mod:`repro.metrics.gaps`, every function accepts either
+``CaptureRecord`` sequences or the sniffer's columnar view and walks the raw
+time column in the latter case.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Union
 
-from repro.net.tap import CaptureRecord
+from repro.net.tap import CaptureColumns, CaptureRecord
 from repro.units import us
 
 #: The paper's threshold: 0.1 ms (minimum serialization gap is ~0.012 ms).
 TRAIN_GAP_THRESHOLD_NS = us(100)
 
+Capture = Union[Sequence[CaptureRecord], CaptureColumns]
+
+
+def _times(records: Capture) -> Sequence[int]:
+    if isinstance(records, CaptureColumns):
+        return records.time_ns
+    return [r.time_ns for r in records]
+
 
 def packet_trains(
-    records: Sequence[CaptureRecord], threshold_ns: int = TRAIN_GAP_THRESHOLD_NS
+    records: Capture, threshold_ns: int = TRAIN_GAP_THRESHOLD_NS
 ) -> List[int]:
     """Lengths of consecutive packet trains."""
-    if not records:
+    times = _times(records)
+    if not times:
         return []
     lengths: List[int] = []
     current = 1
-    for i in range(1, len(records)):
-        if records[i].time_ns - records[i - 1].time_ns <= threshold_ns:
+    prev = times[0]
+    for t in times[1:]:
+        if t - prev <= threshold_ns:
             current += 1
         else:
             lengths.append(current)
             current = 1
+        prev = t
     lengths.append(current)
     return lengths
 
 
 def packets_by_train_length(
-    records: Sequence[CaptureRecord], threshold_ns: int = TRAIN_GAP_THRESHOLD_NS
+    records: Capture, threshold_ns: int = TRAIN_GAP_THRESHOLD_NS
 ) -> Dict[int, int]:
     """Map train length -> number of *packets* in trains of that length."""
     counts: Counter[int] = Counter()
@@ -47,7 +62,7 @@ def packets_by_train_length(
 
 
 def fraction_of_packets_in_trains_leq(
-    records: Sequence[CaptureRecord],
+    records: Capture,
     max_length: int,
     threshold_ns: int = TRAIN_GAP_THRESHOLD_NS,
 ) -> float:
@@ -60,7 +75,7 @@ def fraction_of_packets_in_trains_leq(
 
 
 def pooled_packets_by_train_length(
-    groups: Sequence[Sequence[CaptureRecord]],
+    groups: Sequence[Capture],
     threshold_ns: int = TRAIN_GAP_THRESHOLD_NS,
 ) -> Dict[int, int]:
     """Train-length distribution pooled across groups (repetitions).
@@ -75,7 +90,7 @@ def pooled_packets_by_train_length(
 
 
 def pooled_fraction_of_packets_in_trains_leq(
-    groups: Sequence[Sequence[CaptureRecord]],
+    groups: Sequence[Capture],
     max_length: int,
     threshold_ns: int = TRAIN_GAP_THRESHOLD_NS,
 ) -> float:

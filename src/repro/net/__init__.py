@@ -5,7 +5,7 @@ impairments, mirroring (and stressing) the paper's Figure 1 topology."""
 from repro.net.packet import Datagram, PacketSink, ETHERNET_OVERHEAD, WIRE_FRAMING
 from repro.net.link import Link
 from repro.net.nic import Nic
-from repro.net.tap import FiberTap, Sniffer, CaptureRecord
+from repro.net.tap import FiberTap, Sniffer, CaptureRecord, CaptureColumns
 from repro.net.bottleneck import Bottleneck
 from repro.net.impairments import (
     ImpairmentSpec,
@@ -34,5 +34,6 @@ __all__ = [
     "FiberTap",
     "Sniffer",
     "CaptureRecord",
+    "CaptureColumns",
     "Bottleneck",
 ]

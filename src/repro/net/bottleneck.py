@@ -54,7 +54,9 @@ class Bottleneck:
         self._tokens = float(burst_bytes)
         self._last_refill_ns = 0
         self._drain_scheduled = False
-        self._drain_handle = None
+        #: Generation stamp carried by scheduled drains; ``set_rate`` bumps it
+        #: to invalidate a pending drain without a cancellable heap entry.
+        self._drain_gen = 0
 
         self.dropped = 0
         self.forwarded = 0
@@ -81,9 +83,8 @@ class Bottleneck:
             raise ValueError(f"bottleneck rate must be positive, got {rate_bps}")
         self._refill()
         self.rate_bps = rate_bps
-        if self._drain_scheduled and self._drain_handle is not None:
-            self._drain_handle.cancel()
-            self._drain_handle = None
+        if self._drain_scheduled:
+            self._drain_gen += 1
             self._drain_scheduled = False
         self._maybe_drain()
 
@@ -108,11 +109,12 @@ class Bottleneck:
     # -- datapath ----------------------------------------------------------
 
     def receive(self, dgram: Datagram) -> None:
-        if dgram.wire_size > self.burst_bytes:
+        size = dgram.wire_size
+        if size > self.burst_bytes:
             # A frame larger than the bucket could never earn enough tokens.
             self._drop(dgram)
             return
-        if self._queue_bytes + dgram.wire_size > self.queue_limit_bytes:
+        if self._queue_bytes + size > self.queue_limit_bytes:
             self._drop(dgram)
             return
         if (
@@ -123,7 +125,7 @@ class Bottleneck:
             dgram.ecn = 3
             self.ce_marked += 1
         self._queue.append(dgram)
-        self._queue_bytes += dgram.wire_size
+        self._queue_bytes += size
         if self.trace_queue:
             self.queue_trace.append((self.sim.now, self._queue_bytes))
         self._maybe_drain()
@@ -136,34 +138,48 @@ class Bottleneck:
         if self._drain_scheduled or not self._queue:
             return
         self._refill()
-        head = self._queue[0]
-        need = head.wire_size
+        need = self._queue[0].wire_size
         if self._tokens >= need:
-            self._drain_scheduled = True
-            self._drain_handle = self.sim.call_soon(self._drain)
+            wait = 0
         else:
             deficit_bytes = need - self._tokens
             wait = -(-int(deficit_bytes * 8 * SEC) // self.rate_bps)
-            self._drain_scheduled = True
-            self._drain_handle = self.sim.schedule(max(wait, 1), self._drain)
+            if wait < 1:
+                wait = 1
+        self._drain_scheduled = True
+        self.sim.schedule(wait, self._drain, self._drain_gen)
 
-    def _drain(self) -> None:
+    def _drain(self, gen: int) -> None:
+        if gen != self._drain_gen:
+            return  # superseded by a rate change
         self._drain_scheduled = False
-        self._drain_handle = None
         if not self._queue:
             return
         self._refill()
         head = self._queue[0]
-        if self._tokens < head.wire_size:
+        size = head.wire_size
+        if self._tokens < size:
             self._maybe_drain()
             return
         self._queue.popleft()
-        self._tokens -= head.wire_size
-        self._queue_bytes -= head.wire_size
+        self._tokens -= size
+        self._queue_bytes -= size
         if self.trace_queue:
             self.queue_trace.append((self.sim.now, self._queue_bytes))
         self.forwarded += 1
-        self.bytes_forwarded += head.wire_size
+        self.bytes_forwarded += size
         if self.sink is not None:
             self.sim.schedule(self.delay_ns, self.sink.receive, head)
-        self._maybe_drain()
+        # Inline re-arm (same math as _maybe_drain): tokens were refilled a
+        # few lines up at this same timestamp, so a second refill is a no-op.
+        if self._queue:
+            need = self._queue[0].wire_size
+            tokens = self._tokens
+            if tokens >= need:
+                wait = 0
+            else:
+                wait = -(-int((need - tokens) * 8 * SEC) // self.rate_bps)
+                if wait < 1:
+                    wait = 1
+            self._drain_scheduled = True
+            self.sim.schedule(wait, self._drain, self._drain_gen)

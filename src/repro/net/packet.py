@@ -39,7 +39,7 @@ def reset_dgram_ids() -> None:
 FlowTuple = Tuple[str, int, str, int]
 
 
-@dataclass
+@dataclass(slots=True)
 class Datagram:
     """One UDP datagram traveling through the simulated network.
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.quic.frames import AckFrame
+from repro.quic.frames import ACK_DELAY_EXPONENT, AckFrame
 from repro.units import ms
 
 MAX_ACK_RANGES = 10
@@ -103,7 +103,11 @@ class AckManager:
             (lo, hi) for lo, hi in reversed(self._ranges[-MAX_ACK_RANGES:])
         )
         delay_ns = max(0, now_ns - self._largest_time)
-        frame = AckFrame(self._largest, delay_ns // 1000, descending)
+        # The wire encodes the delay in 2**ACK_DELAY_EXPONENT µs units, so
+        # quantize here: the frame object then carries exactly what a peer
+        # would decode, whether it travels as an object or as bytes.
+        delay_us = (delay_ns // 1000) >> ACK_DELAY_EXPONENT << ACK_DELAY_EXPONENT
+        frame = AckFrame(self._largest, delay_us, descending)
         self._unacked_eliciting = 0
         self._ack_deadline = None
         self._immediate = False

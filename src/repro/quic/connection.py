@@ -72,13 +72,35 @@ class ConnectionConfig:
     initial_pad_to: int = 1200
 
 
-@dataclass
 class BuiltPacket:
-    packet: QuicPacket
-    encoded: bytes
-    size: int
-    ack_eliciting: bool
-    retx: List[Tuple[Any, ...]]
+    """A packet ready to send.
+
+    Serialization is lazy: inside the simulator the packet object itself
+    travels through the network (the ``Datagram`` payload is opaque), so the
+    wire bytes are only produced when something actually asks for them —
+    ``size`` comes from the exact ``encoded_len`` arithmetic instead.
+    """
+
+    __slots__ = ("packet", "size", "ack_eliciting", "retx", "_encoded")
+
+    def __init__(
+        self,
+        packet: QuicPacket,
+        size: int,
+        ack_eliciting: bool,
+        retx: List[Tuple[Any, ...]],
+    ):
+        self.packet = packet
+        self.size = size
+        self.ack_eliciting = ack_eliciting
+        self.retx = retx
+        self._encoded: Optional[bytes] = None
+
+    @property
+    def encoded(self) -> bytes:
+        if self._encoded is None:
+            self._encoded = self.packet.encode()
+        return self._encoded
 
 
 class Connection:
@@ -94,7 +116,9 @@ class Connection:
             raise ProtocolError(f"role must be client or server, not {role!r}")
         self.role = role
         self.config = config or ConnectionConfig()
-        self.cc = cc or NewReno(mtu=self.config.mtu_payload - short_header_overhead())
+        #: Frame budget of a full 1-RTT packet (cached off the hot path).
+        self._payload_budget = self.config.mtu_payload - short_header_overhead()
+        self.cc = cc or NewReno(mtu=self._payload_budget)
         self.rtt = RttEstimator(max_ack_delay_ns=self.config.max_ack_delay_ns)
         self.recovery = LossRecovery(self.rtt)
         self.ack_mgr = AckManager(
@@ -176,14 +200,21 @@ class Connection:
 
     def next_timeout(self, now: int) -> Optional[int]:
         """Earliest internal deadline (loss detection or delayed ACK)."""
-        deadlines = []
+        if self.closed or self.close_sent:
+            # A closing endpoint transmits nothing (``wants_to_send`` is
+            # False), so reporting a stale ACK/loss deadline would make the
+            # driver spin re-arming an immediately-due timer until the run
+            # drains. No deadline: the socket wake-up still handles arrivals.
+            return None
         loss = self.recovery.next_timeout()
-        if loss is not None:
-            deadlines.append(loss)
         ack = self.ack_mgr.ack_deadline()
-        if ack is not None:
-            deadlines.append(max(ack, now))
-        return min(deadlines) if deadlines else None
+        if ack is None:
+            return loss
+        if ack < now:
+            ack = now
+        if loss is None:
+            return ack
+        return loss if loss < ack else ack
 
     def on_timeout(self, now: int) -> None:
         """Fire loss-detection / ACK timers that are due."""
@@ -218,20 +249,27 @@ class Connection:
 
     # ------------------------------------------------------------ receiving
 
-    def on_datagram(self, data: bytes, now: int, ecn: int = 0) -> None:
+    def on_datagram(self, data: "bytes | QuicPacket", now: int, ecn: int = 0) -> None:
         """Process one received UDP datagram (one QUIC packet).
+
+        ``data`` is either wire bytes or the :class:`QuicPacket` object
+        itself — inside the simulator packets travel as objects (datagram
+        payloads are opaque), skipping the serialize/parse round trip.
 
         ``ecn`` is the IP ECN codepoint (0 Not-ECT, 1 ECT(1), 2 ECT(0),
         3 CE). Undecodable datagrams are counted and dropped, like a real
         endpoint discarding packets that fail authentication or parsing.
         """
-        from repro.errors import EncodingError
+        if type(data) is QuicPacket:
+            packet = data
+        else:
+            from repro.errors import EncodingError
 
-        try:
-            packet = QuicPacket.decode(data)
-        except EncodingError:
-            self.decode_errors += 1
-            return
+            try:
+                packet = QuicPacket.decode(data)
+            except EncodingError:
+                self.decode_errors += 1
+                return
         if ecn == 2:
             self.ecn_received[0] += 1
         elif ecn == 1:
@@ -455,8 +493,7 @@ class Connection:
             self.close_sent = True
             packet = QuicPacket(PacketType.ONE_RTT, self.next_pn, [frame])
             self.next_pn += 1
-            encoded = packet.encode()
-            return BuiltPacket(packet, encoded, len(encoded), False, [])
+            return BuiltPacket(packet, packet.encoded_len, False, [])
         if self.close_sent:
             return None
         probe = False
@@ -464,7 +501,7 @@ class Connection:
             probe = True
         frames: List[Frame] = []
         retx: List[Tuple[Any, ...]] = []
-        budget = self.config.mtu_payload - short_header_overhead()
+        budget = self._payload_budget
 
         include_ack = self.ack_mgr.ack_pending and (
             self.ack_mgr.should_ack_now(now)
@@ -522,19 +559,25 @@ class Connection:
         cwnd_room = self.cc.can_send(self.recovery.bytes_in_flight)
         allow_data = probe or cwnd_room >= self.config.mtu_payload
         if allow_data and self.send_streams:
-            order = list(self.send_streams.values())
-            start = self._stream_rr % len(order)
-            rotated = order[start:] + order[:start]
-            filled_any = False
-            for stream in rotated:
-                if budget < 24:
-                    break
-                before = budget
-                self._fill_stream_frames(stream, frames, retx, now, budget_ref := [budget])
-                budget = budget_ref[0]
-                if budget < before and not filled_any:
-                    filled_any = True
-                    self._stream_rr = start + 1
+            if len(self.send_streams) == 1:
+                # Single-transfer fast path: no rotation to compute, and the
+                # round-robin cursor is irrelevant with one stream.
+                (stream,) = self.send_streams.values()
+                if budget >= 24:
+                    budget = self._fill_stream_frames(stream, frames, retx, now, budget)
+            else:
+                order = list(self.send_streams.values())
+                start = self._stream_rr % len(order)
+                rotated = order[start:] + order[:start]
+                filled_any = False
+                for stream in rotated:
+                    if budget < 24:
+                        break
+                    before = budget
+                    budget = self._fill_stream_frames(stream, frames, retx, now, budget)
+                    if budget < before and not filled_any:
+                        filled_any = True
+                        self._stream_rr = start + 1
 
         if not frames and probe:
             frames.append(PingFrame())
@@ -548,17 +591,14 @@ class Connection:
             self.probe_packets_pending = max(0, self.probe_packets_pending - 1)
 
         if packet_type is PacketType.INITIAL:
-            current = self.config.mtu_payload - short_header_overhead() - budget
+            current = self._payload_budget - budget
             pad = self.config.initial_pad_to - current
             if pad > 0:
                 frames.append(PaddingFrame(pad))
 
         packet = QuicPacket(packet_type, self.next_pn, frames)
         self.next_pn += 1
-        encoded = packet.encode()
-        ack_eliciting = packet.ack_eliciting
-        built = BuiltPacket(packet, encoded, len(encoded), ack_eliciting, retx)
-        return built
+        return BuiltPacket(packet, packet.encoded_len, packet.ack_eliciting, retx)
 
     def _fill_stream_frames(
         self,
@@ -566,19 +606,21 @@ class Connection:
         frames: List[Frame],
         retx: List[Tuple[Any, ...]],
         now: int,
-        budget_ref: List[int],
-    ) -> None:
-        budget = budget_ref[0]
+        budget: int,
+    ) -> int:
+        """Append STREAM frames for ``stream``; returns the remaining budget."""
+        stream_id = stream.stream_id
         slimit = self.stream_send_limits.setdefault(
-            stream.stream_id, SendLimit(self.config.peer_max_stream_data)
+            stream_id, SendLimit(self.config.peer_max_stream_data)
         )
+        conn_limit = self.conn_send_limit
         while budget >= 24 and stream.has_data:
             probe_len = budget - StreamFrame.header_overhead(
-                stream.stream_id, max(stream.next_offset, 1), budget
+                stream_id, stream.next_offset or 1, budget
             )
             if probe_len <= 0:
                 break
-            max_new = min(probe_len, self.conn_send_limit.available, slimit.available)
+            max_new = min(probe_len, conn_limit.available, slimit.available)
             if stream.has_retx:
                 chunk = stream.next_chunk(probe_len)
             elif max_new > 0 or (
@@ -591,19 +633,19 @@ class Connection:
                 break
             offset, length, fin, is_retx = chunk
             data = stream.read(offset, length)
-            frame = StreamFrame(stream.stream_id, offset, data, fin)
+            frame = StreamFrame(stream_id, offset, data, fin)
             frames.append(frame)
-            retx.append(("stream", stream.stream_id, offset, length, fin))
+            retx.append(("stream", stream_id, offset, length, fin))
             budget -= frame.encoded_len
             if is_retx:
                 self.stream_bytes_retx += length
             else:
-                new_end = offset + length
-                advance = max(0, new_end - slimit.used)
-                slimit.consume(advance)
-                self.conn_send_limit.consume(advance)
+                advance = offset + length - slimit.used
+                if advance > 0:
+                    slimit.consume(advance)
+                    conn_limit.consume(advance)
             self.stream_bytes_sent += length
-        budget_ref[0] = budget
+        return budget
 
     def on_packet_sent(self, built: BuiltPacket, now: int) -> None:
         """Register a built packet as sent (driver calls this at write time)."""

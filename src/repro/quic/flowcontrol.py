@@ -27,7 +27,8 @@ class SendLimit:
 
     @property
     def available(self) -> int:
-        return max(0, self.limit - self.used)
+        credit = self.limit - self.used
+        return credit if credit > 0 else 0
 
     def consume(self, nbytes: int) -> None:
         if nbytes > self.available:
@@ -72,7 +73,8 @@ class RecvLimit:
             )
 
     def on_consumed(self, new_consumed: int) -> None:
-        self.consumed = max(self.consumed, new_consumed)
+        if new_consumed > self.consumed:
+            self.consumed = new_consumed
 
     def wants_update(self) -> bool:
         return self.advertised - self.consumed < self.window // 2

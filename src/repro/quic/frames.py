@@ -106,6 +106,31 @@ class AckFrame(Frame):
                 out += encode_varint(count)
         return bytes(out)
 
+    @property
+    def encoded_len(self) -> int:
+        # Queried repeatedly while budgeting a packet; the frame is frozen,
+        # so the length is computed once and cached.
+        cached = self.__dict__.get("_encoded_len")
+        if cached is not None:
+            return cached
+        first_lo, first_hi = self.ranges[0]
+        n = (
+            1
+            + varint_len(self.largest)
+            + varint_len(self.ack_delay_us >> ACK_DELAY_EXPONENT)
+            + varint_len(len(self.ranges) - 1)
+            + varint_len(first_hi - first_lo)
+        )
+        prev_lo = first_lo
+        for lo, hi in self.ranges[1:]:
+            n += varint_len(prev_lo - hi - 2) + varint_len(hi - lo)
+            prev_lo = lo
+        if self.ecn_counts is not None:
+            for count in self.ecn_counts:
+                n += varint_len(count)
+        self.__dict__["_encoded_len"] = n
+        return n
+
     def acked_packet_numbers(self) -> List[int]:
         """All packet numbers covered (test/diagnostic helper)."""
         numbers: List[int] = []
@@ -126,6 +151,10 @@ class CryptoFrame(Frame):
             + encode_varint(len(self.data))
             + self.data
         )
+
+    @property
+    def encoded_len(self) -> int:
+        return 1 + varint_len(self.offset) + varint_len(len(self.data)) + len(self.data)
 
 
 @dataclass(frozen=True)
@@ -151,9 +180,13 @@ class StreamFrame(Frame):
 
     @property
     def encoded_len(self) -> int:
+        cached = self.__dict__.get("_encoded_len")
+        if cached is not None:
+            return cached
         n = 1 + varint_len(self.stream_id) + varint_len(len(self.data)) + len(self.data)
         if self.offset:
             n += varint_len(self.offset)
+        self.__dict__["_encoded_len"] = n
         return n
 
     @staticmethod
@@ -172,6 +205,10 @@ class MaxDataFrame(Frame):
     def encode(self) -> bytes:
         return bytes([TYPE_MAX_DATA]) + encode_varint(self.max_data)
 
+    @property
+    def encoded_len(self) -> int:
+        return 1 + varint_len(self.max_data)
+
 
 @dataclass(frozen=True)
 class MaxStreamDataFrame(Frame):
@@ -185,6 +222,10 @@ class MaxStreamDataFrame(Frame):
             + encode_varint(self.max_data)
         )
 
+    @property
+    def encoded_len(self) -> int:
+        return 1 + varint_len(self.stream_id) + varint_len(self.max_data)
+
 
 @dataclass(frozen=True)
 class DataBlockedFrame(Frame):
@@ -192,6 +233,10 @@ class DataBlockedFrame(Frame):
 
     def encode(self) -> bytes:
         return bytes([TYPE_DATA_BLOCKED]) + encode_varint(self.limit)
+
+    @property
+    def encoded_len(self) -> int:
+        return 1 + varint_len(self.limit)
 
 
 @dataclass(frozen=True)
@@ -205,6 +250,10 @@ class StreamDataBlockedFrame(Frame):
             + encode_varint(self.stream_id)
             + encode_varint(self.limit)
         )
+
+    @property
+    def encoded_len(self) -> int:
+        return 1 + varint_len(self.stream_id) + varint_len(self.limit)
 
 
 @dataclass(frozen=True)
@@ -220,6 +269,16 @@ class ConnectionCloseFrame(Frame):
             + encode_varint(0)  # frame type that caused the error
             + encode_varint(len(self.reason))
             + self.reason
+        )
+
+    @property
+    def encoded_len(self) -> int:
+        return (
+            1
+            + varint_len(self.error_code)
+            + 1
+            + varint_len(len(self.reason))
+            + len(self.reason)
         )
 
 

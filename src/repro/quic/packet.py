@@ -47,9 +47,12 @@ _LONG_TYPE_BITS = {PacketType.INITIAL: 0x0, PacketType.HANDSHAKE: 0x2}
 _LONG_TYPE_FROM_BITS = {v: k for k, v in _LONG_TYPE_BITS.items()}
 
 
+_SHORT_HEADER_OVERHEAD = 1 + CONNECTION_ID_LEN + PACKET_NUMBER_LEN + AEAD_TAG_LEN
+
+
 def short_header_overhead() -> int:
     """Framing bytes of a 1-RTT packet beyond its frames."""
-    return 1 + CONNECTION_ID_LEN + PACKET_NUMBER_LEN + AEAD_TAG_LEN
+    return _SHORT_HEADER_OVERHEAD
 
 
 def long_header_overhead(payload_len: int) -> int:
@@ -71,7 +74,13 @@ class QuicPacket:
 
     @property
     def ack_eliciting(self) -> bool:
-        return any(f.ack_eliciting for f in self.frames)
+        # Cached: sender and receiver both query it, and with packets passed
+        # by object between stacks the same instance answers both.
+        cached = self.__dict__.get("_ack_eliciting")
+        if cached is None:
+            cached = any(f.ack_eliciting for f in self.frames)
+            self.__dict__["_ack_eliciting"] = cached
+        return cached
 
     def payload_bytes(self) -> bytes:
         return b"".join(f.encode() for f in self.frames)
@@ -96,10 +105,12 @@ class QuicPacket:
 
     @property
     def encoded_len(self) -> int:
-        payload_len = sum(f.encoded_len for f in self.frames)
-        if self.packet_type.long_header:
+        payload_len = 0
+        for f in self.frames:
+            payload_len += f.encoded_len
+        if self.packet_type is not PacketType.ONE_RTT:
             return payload_len + long_header_overhead(payload_len)
-        return payload_len + short_header_overhead()
+        return payload_len + _SHORT_HEADER_OVERHEAD
 
     @classmethod
     def decode(cls, data: bytes | memoryview) -> "QuicPacket":

@@ -21,6 +21,18 @@ class RangeSet:
         if end <= start:
             return 0
         ranges = self._ranges
+        # In-order delivery makes appends at (or past) the frontier the
+        # overwhelmingly common case; handle them without the general scan.
+        if not ranges:
+            ranges.append([start, end])
+            return end - start
+        last = ranges[-1]
+        if start == last[1]:
+            last[1] = end
+            return end - start
+        if start > last[1]:
+            ranges.append([start, end])
+            return end - start
         starts = [r[0] for r in ranges]
         i = bisect_left(starts, start)
         # The predecessor may overlap or touch.
@@ -78,6 +90,11 @@ class RangeSet:
         if pos < end:
             gaps.append((pos, end))
         return gaps
+
+    @property
+    def upper(self) -> int:
+        """One past the highest covered value (0 when empty)."""
+        return self._ranges[-1][1] if self._ranges else 0
 
     @property
     def total(self) -> int:

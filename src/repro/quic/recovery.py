@@ -13,6 +13,7 @@ dissects in Section 4.2.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -113,18 +114,37 @@ class LossRecovery:
         result = AckResult()
         newly: List[SentPacket] = []
         self._prune_lost_history(now)
-        # ACK frames re-cover everything ever received; only walk the part of
-        # each range at or above the lowest packet number still of interest
-        # (outstanding or recently declared lost), keeping processing O(new).
-        floor = self._interest_floor(ack.largest)
-        for lo, hi in ack.ranges:
-            for pn in range(max(lo, floor), hi + 1):
-                sp = self.sent.pop(pn, None)
-                if sp is not None:
-                    newly.append(sp)
-                elif pn in self._lost_history:
-                    del self._lost_history[pn]
-                    result.spurious_pns.append(pn)
+        # ACK frames re-cover everything ever received, but almost all of it
+        # was acked before: only packets still tracked (outstanding or
+        # recently declared lost) can change state. Walk the *tracked* sets
+        # against the ranges instead of every covered packet number — the
+        # ``sent`` dict is keyed in ascending-pn insertion order, so a single
+        # merge pass over (sorted ranges x sent keys) is O(outstanding) and
+        # exits as soon as the keys pass the highest range.
+        sent = self.sent
+        ascending = ack.ranges[::-1]  # wire order is descending by hi
+        ri = 0
+        nr = len(ascending)
+        acked_pns: List[int] = []
+        for pn in sent:
+            while ri < nr and ascending[ri][1] < pn:
+                ri += 1
+            if ri == nr:
+                break
+            if pn >= ascending[ri][0]:
+                acked_pns.append(pn)
+        for pn in acked_pns:
+            newly.append(sent.pop(pn))
+        if self._lost_history:
+            # Spurious losses: declared-lost packets the ACK now covers.
+            # Reported in the original scan order (descending ranges,
+            # ascending pn within each range).
+            lost_sorted = sorted(self._lost_history)
+            for lo, hi in ack.ranges:
+                for pn in lost_sorted[bisect_left(lost_sorted, lo):bisect_right(lost_sorted, hi)]:
+                    if pn in self._lost_history:
+                        del self._lost_history[pn]
+                        result.spurious_pns.append(pn)
         if not newly and not result.spurious_pns:
             return result
         newly.sort(key=lambda sp: sp.pn)
@@ -225,17 +245,6 @@ class LossRecovery:
                 self.loss_time = sp.time_sent + delay
         return lost
 
-    def _interest_floor(self, default: int) -> int:
-        """Lowest packet number that could still change state on an ACK."""
-        floor = default + 1
-        for pn in self.sent:
-            floor = pn
-            break
-        for pn in self._lost_history:
-            floor = min(floor, pn)
-            break
-        return floor
-
     def _prune_lost_history(self, now: int) -> None:
         """Forget losses old enough that a late ACK can no longer arrive."""
         horizon = now - max(4 * self.rtt.pto_interval(), ms(500))
@@ -263,8 +272,15 @@ class LossRecovery:
 
     def next_timeout(self) -> Optional[int]:
         """Earliest loss-detection deadline (time-threshold loss or PTO)."""
-        candidates = [t for t in (self.loss_time, self.pto_deadline()) if t is not None]
-        return min(candidates) if candidates else None
+        loss = self.loss_time
+        if self.ack_eliciting_in_flight == 0:
+            return loss
+        pto = self.time_of_last_ack_eliciting + self.rtt.pto_interval() * (
+            1 << min(self.pto_count, 10)
+        )
+        if loss is None:
+            return pto
+        return loss if loss < pto else pto
 
     def on_loss_timeout(self, now: int) -> Tuple[List[SentPacket], bool]:
         """Handle the loss-detection timer.

@@ -53,13 +53,15 @@ class SendStream:
 
     @property
     def new_bytes_available(self) -> int:
-        return max(0, self.size - self.next_offset)
+        remaining = self.source.size - self.next_offset
+        return remaining if remaining > 0 else 0
 
     @property
     def has_data(self) -> bool:
-        return self.has_retx or self.new_bytes_available > 0 or (
-            self.next_offset >= self.size and not self.fin_sent
-        )
+        # retx pending, unsent bytes remaining, or a bare FIN still to send.
+        if self._retx:
+            return True
+        return self.next_offset < self.source.size or not self.fin_sent
 
     @property
     def all_acked(self) -> bool:
@@ -181,7 +183,5 @@ class RecvStream:
 
     @property
     def highest_received(self) -> int:
-        frontier = 0
-        for _lo, hi in self.received:
-            frontier = max(frontier, hi)
-        return frontier
+        # Ranges are sorted and disjoint, so the frontier is the last end.
+        return self.received.upper

@@ -35,11 +35,13 @@ class JitterModel:
     sigma: float = 0.0
 
     def sample(self, rng: random.Random) -> int:
-        if self.median_ns <= 0:
+        median = self.median_ns
+        if median <= 0:
             return 0
-        if self.sigma <= 0.0:
-            return self.median_ns
-        return round(self.median_ns * math.exp(rng.gauss(0.0, self.sigma)))
+        sigma = self.sigma
+        if sigma <= 0.0:
+            return median
+        return round(median * math.exp(rng.gauss(0.0, sigma)))
 
 
 @dataclass(frozen=True)
@@ -59,12 +61,13 @@ class TimerModel:
     def fire_time(self, requested_ns: int, now_ns: int, rng: random.Random) -> int:
         """Actual time the wake-up lands, given it was requested for
         ``requested_ns`` while the clock reads ``now_ns``."""
-        t = max(requested_ns, now_ns)
-        if self.granularity_ns > 1:
+        t = requested_ns if requested_ns > now_ns else now_ns
+        gran = self.granularity_ns
+        if gran > 1:
             # Timers can only fire on grid points; round up.
-            t = -(-t // self.granularity_ns) * self.granularity_ns
+            t = -(-t // gran) * gran
         t += self.overhead_ns + self.jitter.sample(rng)
-        return max(t, now_ns)
+        return t if t > now_ns else now_ns
 
 
 #: An idealized timer: fires exactly when requested.

@@ -3,18 +3,29 @@
 The engine is a classic calendar built on a binary heap. Events scheduled for
 the same instant fire in scheduling order (FIFO), which keeps simulations
 deterministic for a fixed seed.
+
+Hot-path design: heap entries are plain ``(time, seq, fn, args)`` tuples, so
+ordering is decided by C-level tuple comparison on ``(time, seq)`` — no
+``__lt__`` dispatch into Python, and no per-event handle allocation. The few
+call sites that actually cancel events (recovery timers, pacers, qdisc
+watchdogs) go through :meth:`Simulator.schedule_cancellable` /
+:meth:`Simulator.schedule_at_cancellable`, which allocate an
+:class:`EventHandle` and push ``(time, seq, handle, None)`` instead; the
+``args is None`` sentinel is how the run loop tells the two entry shapes
+apart without an isinstance check.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 
 
 class EventHandle:
-    """A cancellable reference to a scheduled event."""
+    """A cancellable reference to an event scheduled via
+    :meth:`Simulator.schedule_cancellable`."""
 
     __slots__ = ("time", "seq", "fn", "args", "_cancelled")
 
@@ -35,9 +46,6 @@ class EventHandle:
     @property
     def cancelled(self) -> bool:
         return self._cancelled
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:
         state = "cancelled" if self._cancelled else "pending"
@@ -61,7 +69,7 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0
         self._seq = 0
-        self._heap: list[EventHandle] = []
+        self._heap: list[tuple] = []
         self._running = False
         self.events_processed = 0
 
@@ -70,47 +78,98 @@ class Simulator:
         """Current simulation time in nanoseconds."""
         return self._now
 
-    def schedule(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+    def schedule(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` to run ``delay_ns`` from now."""
         if delay_ns < 0:
             raise SimulationError(f"cannot schedule {delay_ns}ns in the past")
-        return self.schedule_at(self._now + delay_ns, fn, *args)
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (self._now + delay_ns, seq, fn, args))
 
-    def schedule_at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+    def schedule_at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` at absolute time ``time_ns``."""
         if time_ns < self._now:
             raise SimulationError(
                 f"cannot schedule at {time_ns}ns, already at {self._now}ns"
             )
-        handle = EventHandle(time_ns, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, handle)
-        return handle
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (time_ns, seq, fn, args))
 
-    def call_soon(self, fn: Callable[..., Any], *args: Any) -> EventHandle:
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` at the current instant (after pending same-time events)."""
-        return self.schedule_at(self._now, fn, *args)
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (self._now, seq, fn, args))
+
+    def schedule_cancellable(
+        self, delay_ns: int, fn: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Like :meth:`schedule`, but returns a cancellable handle.
+
+        Reserved for the few call sites that actually cancel (recovery/RTO
+        timers, pacer deadlines, qdisc watchdogs); everything else takes the
+        allocation-free fast path.
+        """
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule {delay_ns}ns in the past")
+        return self.schedule_at_cancellable(self._now + delay_ns, fn, *args)
+
+    def schedule_at_cancellable(
+        self, time_ns: int, fn: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Like :meth:`schedule_at`, but returns a cancellable handle."""
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_ns}ns, already at {self._now}ns"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time_ns, seq, fn, args)
+        _heappush(self._heap, (time_ns, seq, handle, None))
+        return handle
 
     @property
     def pending(self) -> int:
         """Number of events still in the calendar (including cancelled ones)."""
         return len(self._heap)
 
+    @property
+    def pending_live(self) -> int:
+        """Number of events still in the calendar, excluding cancelled ones.
+
+        O(n); intended for diagnostics, not the run loop.
+        """
+        return sum(
+            1
+            for entry in self._heap
+            if entry[3] is not None or not entry[2]._cancelled
+        )
+
     def peek_time(self) -> Optional[int]:
         """Time of the next live event, or None if the calendar is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[3] is None and entry[2]._cancelled:
+                _heappop(heap)
+                continue
+            return entry[0]
+        return None
 
     def step(self) -> bool:
         """Run the next live event. Returns False if there was none."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
-            self._now = handle.time
+        heap = self._heap
+        while heap:
+            time_ns, _seq, fn, args = _heappop(heap)
+            if args is None:  # cancellable entry: fn is the EventHandle
+                if fn._cancelled:
+                    continue
+                args = fn.args
+                fn = fn.fn
+            self._now = time_ns
             self.events_processed += 1
-            handle.fn(*handle.args)
+            fn(*args)
             return True
         return False
 
@@ -120,22 +179,56 @@ class Simulator:
 
         When ``until`` is given, the clock is advanced to exactly ``until``
         even if the calendar empties earlier.
+
+        One inlined loop: the head entry is inspected once and popped once
+        per event (cancelled entries are skipped in the same pass), instead
+        of the peek-then-step double heap scan.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        heap = self._heap
+        pop = _heappop
         processed = 0
         try:
-            while True:
-                if max_events is not None and processed >= max_events:
-                    return
-                next_time = self.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                self.step()
-                processed += 1
+            if max_events is None:
+                # The experiment hot loop: no per-event budget checks, and
+                # the event counter is folded in once on exit.
+                try:
+                    while heap:
+                        entry = heap[0]
+                        if until is not None and entry[0] > until:
+                            break
+                        pop(heap)
+                        time_ns, _seq, fn, args = entry
+                        if args is None:  # cancellable: fn is the EventHandle
+                            if fn._cancelled:
+                                continue
+                            args = fn.args
+                            fn = fn.fn
+                        self._now = time_ns
+                        processed += 1
+                        fn(*args)
+                finally:
+                    self.events_processed += processed
+            else:
+                while heap:
+                    if processed >= max_events:
+                        return
+                    entry = heap[0]
+                    if until is not None and entry[0] > until:
+                        break
+                    pop(heap)
+                    time_ns, _seq, fn, args = entry
+                    if args is None:  # cancellable entry: fn is the EventHandle
+                        if fn._cancelled:
+                            continue
+                        args = fn.args
+                        fn = fn.fn
+                    self._now = time_ns
+                    self.events_processed += 1
+                    processed += 1
+                    fn(*args)
             if until is not None and until > self._now:
                 self._now = until
         finally:

@@ -6,11 +6,18 @@ arrival) wakes it, then runs its ``on_wakeup`` handler. Timer arming goes
 through the process's :class:`~repro.sim.clock.TimerModel`, so granularity and
 scheduling jitter apply to *timer* wake-ups, while external wake-ups (epoll on
 a ready socket) only pay the scheduling jitter.
+
+Timer arming happens tens of thousands of times per run, so the timer-model
+math (grid rounding, overhead, log-normal jitter) is unpacked into instance
+fields at construction and computed inline in :meth:`arm_timer` /
+:meth:`wake_now` — same arithmetic and the same RNG draw sequence as
+:meth:`TimerModel.fire_time`, without the call chain.
 """
 
 from __future__ import annotations
 
 import random
+from math import exp as _exp
 from typing import Optional
 
 from repro.sim.clock import TimerModel, PERFECT_TIMER
@@ -40,18 +47,40 @@ class SimProcess:
         self._pending: Optional[EventHandle] = None
         self._pending_deadline: Optional[int] = None
         self.wakeups = 0
+        # Timer-model parameters unpacked for the inline fire-time math.
+        self._gran = timer_model.granularity_ns
+        self._overhead = timer_model.overhead_ns
+        self._jitter_median = timer_model.jitter.median_ns
+        self._jitter_sigma = timer_model.jitter.sigma
+        self._gauss = self.rng.gauss
 
     # -- arming ---------------------------------------------------------
 
     def arm_timer(self, deadline_ns: int) -> None:
         """Ask to be woken at ``deadline_ns`` (modulo timer imprecision)."""
-        if self._pending is not None and self._pending_deadline is not None:
+        pending = self._pending
+        if pending is not None and self._pending_deadline is not None:
             if deadline_ns >= self._pending_deadline:
                 return
-            self._pending.cancel()
-        fire = self.timer_model.fire_time(deadline_ns, self.sim.now, self.rng)
+            pending.cancel()
+        sim = self.sim
+        now = sim._now
+        # Inline TimerModel.fire_time: clamp, grid-round up, add overhead
+        # and one jitter draw. Overhead and jitter are non-negative, so the
+        # result never lands before `now`.
+        t = deadline_ns if deadline_ns > now else now
+        gran = self._gran
+        if gran > 1:
+            t = -(-t // gran) * gran
+        median = self._jitter_median
+        if median > 0:
+            sigma = self._jitter_sigma
+            if sigma > 0.0:
+                median = round(median * _exp(self._gauss(0.0, sigma)))
+            t += median
+        t += self._overhead
         self._pending_deadline = deadline_ns
-        self._pending = self.sim.schedule_at(fire, self._fire)
+        self._pending = sim.schedule_at_cancellable(t, self._fire)
 
     def wake_now(self) -> None:
         """External wake-up (e.g. socket became readable).
@@ -59,11 +88,20 @@ class SimProcess:
         Pays scheduling jitter but not timer granularity, and supersedes any
         pending timer.
         """
-        if self._pending is not None:
-            self._pending.cancel()
-        delay = self.timer_model.jitter.sample(self.rng)
-        self._pending_deadline = self.sim.now
-        self._pending = self.sim.schedule(delay, self._fire)
+        pending = self._pending
+        if pending is not None:
+            pending.cancel()
+        sim = self.sim
+        now = sim._now
+        t = now
+        median = self._jitter_median
+        if median > 0:
+            sigma = self._jitter_sigma
+            if sigma > 0.0:
+                median = round(median * _exp(self._gauss(0.0, sigma)))
+            t += median
+        self._pending_deadline = now
+        self._pending = sim.schedule_at_cancellable(t, self._fire)
 
     def cancel_timer(self) -> None:
         if self._pending is not None:

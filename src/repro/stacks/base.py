@@ -124,12 +124,15 @@ class ServerDriver(SimProcess):
 
     def on_wakeup(self) -> None:
         now = self.sim.now
-        woke_by_timer = not self.socket.rx_pending
-        for dgram in self.socket.recv_all():
-            self.conn.on_datagram(dgram.payload, now, ecn=dgram.ecn)
-        self.conn.on_timeout(now)
+        conn = self.conn
+        socket = self.socket
+        woke_by_ack = bool(socket.rx_pending)
+        if woke_by_ack:
+            for dgram in socket.recv_all():
+                conn.on_datagram(dgram.payload, now, ecn=dgram.ecn)
+        conn.on_timeout(now)
         self._maybe_start_response()
-        self._do_send(now, on_ack_wake=not woke_by_timer)
+        self._do_send(now, on_ack_wake=woke_by_ack)
         self._rearm(now)
 
     def _maybe_start_response(self) -> None:
@@ -142,14 +145,12 @@ class ServerDriver(SimProcess):
                 self.response_started = True
 
     def _rearm(self, now: int) -> None:
-        deadlines = []
-        t = self.conn.next_timeout(now)
-        if t is not None:
-            deadlines.append(t)
-        if self._pacer_deadline is not None:
-            deadlines.append(self._pacer_deadline)
-        if deadlines:
-            self.arm_timer(max(min(deadlines), now))
+        deadline = self.conn.next_timeout(now)
+        pacer = self._pacer_deadline
+        if pacer is not None and (deadline is None or pacer < deadline):
+            deadline = pacer
+        if deadline is not None:
+            self.arm_timer(deadline if deadline > now else now)
 
     # -- send strategies ---------------------------------------------------------
 
@@ -205,45 +206,49 @@ class ServerDriver(SimProcess):
 
     def _build_specs(self, now: int, stamp_txtime: bool) -> List[SendSpec]:
         specs: List[SendSpec] = []
-        lookahead = self.profile.txtime_lookahead_ns
-        if self.profile.gso.enabled:
+        conn = self.conn
+        pacer = self.pacer
+        profile = self.profile
+        mtu = conn.config.mtu_payload
+        min_offset = profile.txtime_min_offset_ns
+        ecn = 2 if conn.config.ecn else 0
+        lookahead = profile.txtime_lookahead_ns
+        if profile.gso.enabled:
             # With GSO the app fills whole buffers before sleeping, so it is
             # willing to queue at least two buffers' worth into the kernel.
             lookahead = max(
                 lookahead,
-                2
-                * self.profile.gso.max_segments
-                * self.pacer.interval_ns(self.conn.config.mtu_payload),
+                2 * profile.gso.max_segments * pacer.interval_ns(mtu),
             )
         horizon = now + lookahead
-        while len(specs) < MAX_PACKETS_PER_WAKEUP and self.conn.wants_to_send(now):
+        while len(specs) < MAX_PACKETS_PER_WAKEUP and conn.wants_to_send(now):
             if stamp_txtime:
-                release = self.pacer.release_time(now, self.conn.config.mtu_payload)
+                release = pacer.release_time(now, mtu)
                 if release > horizon:
                     # Enough queued in the kernel; wake again near the horizon.
                     self._pacer_deadline = release - lookahead
                     break
-            built = self.conn.build_packet(now)
+            built = conn.build_packet(now)
             if built is None:
                 break
             txtime = None
             expected = now
             if stamp_txtime and built.ack_eliciting:
-                txtime = self.pacer.release_time(now, built.size)
-                if self.profile.txtime_min_offset_ns:
-                    txtime = max(txtime, now + self.profile.txtime_min_offset_ns)
-                self.pacer.commit(txtime, built.size)
+                txtime = pacer.release_time(now, built.size)
+                if min_offset:
+                    txtime = max(txtime, now + min_offset)
+                pacer.commit(txtime, built.size)
                 expected = txtime
-            self.conn.on_packet_sent(built, now)
+            conn.on_packet_sent(built, now)
             self.expected_send_log.append((built.packet.packet_number, expected))
             specs.append(
                 SendSpec(
-                    payload=built.encoded,
+                    payload=built.packet,
                     payload_size=built.size,
                     txtime_ns=txtime,
                     expected_send_ns=expected,
                     packet_number=built.packet.packet_number,
-                    ecn=2 if self.conn.config.ecn else 0,
+                    ecn=ecn,
                 )
             )
         return specs
@@ -317,7 +322,7 @@ class ServerDriver(SimProcess):
             self.expected_send_log.append((built.packet.packet_number, release))
             self.socket.sendmsg(
                 SendSpec(
-                    payload=built.encoded,
+                    payload=built.packet,
                     payload_size=built.size,
                     txtime_ns=None,
                     expected_send_ns=release,

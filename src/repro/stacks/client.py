@@ -51,15 +51,24 @@ class ClientDriver(SimProcess):
 
     def on_wakeup(self) -> None:
         now = self.sim.now
-        for dgram in self.socket.recv_all():
-            self.conn.on_datagram(dgram.payload, now, ecn=dgram.ecn)
-        self.conn.on_timeout(now)
-        self._maybe_send_request(now)
-        self._track_response(now)
+        conn = self.conn
+        socket = self.socket
+        received = False
+        if socket.rx_pending:
+            received = True
+            for dgram in socket.recv_all():
+                conn.on_datagram(dgram.payload, now, ecn=dgram.ecn)
+        conn.on_timeout(now)
+        if not self.request_sent:
+            self._maybe_send_request(now)
+        # Response progress only changes when datagrams arrived; timer-only
+        # wake-ups (the majority) skip the stream scan.
+        if received and self.completed_at is None:
+            self._track_response(now)
         self._send_pending(now)
-        deadline = self.conn.next_timeout(now)
+        deadline = conn.next_timeout(now)
         if deadline is not None:
-            self.arm_timer(max(deadline, now))
+            self.arm_timer(deadline if deadline > now else now)
 
     def _maybe_send_request(self, now: int) -> None:
         if self.request_sent or not self.conn.established:
@@ -96,7 +105,7 @@ class ClientDriver(SimProcess):
             self.conn.on_packet_sent(built, now)
             self.socket.sendmsg(
                 SendSpec(
-                    payload=built.encoded,
+                    payload=built.packet,
                     payload_size=built.size,
                     packet_number=built.packet.packet_number,
                 )

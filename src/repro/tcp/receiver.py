@@ -63,7 +63,9 @@ class TcpReceiver:
         if out_of_order or self._unacked_segments >= 2 or self.completed_at is not None:
             self._send_ack()
         elif self._delack_timer is None:
-            self._delack_timer = self.sim.schedule(DELAYED_ACK_TIMEOUT, self._send_ack)
+            self._delack_timer = self.sim.schedule_cancellable(
+                DELAYED_ACK_TIMEOUT, self._send_ack
+            )
 
     def _highest_seen(self) -> int:
         high = 0

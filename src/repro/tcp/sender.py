@@ -241,7 +241,7 @@ class TcpSender:
         if self.complete or (self.snd_nxt == self.snd_una and not self.fin_sent):
             return
         rto = max(self.rtt.pto_interval(), MIN_RTO)
-        self._rto_timer = self.sim.schedule(rto, self._on_rto)
+        self._rto_timer = self.sim.schedule_cancellable(rto, self._on_rto)
 
     def _on_rto(self) -> None:
         self._rto_timer = None

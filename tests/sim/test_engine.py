@@ -38,7 +38,7 @@ def test_same_time_events_fire_fifo(sim):
 def test_schedule_at_absolute_time(sim):
     sim.schedule(10, lambda: None)
     sim.run()
-    handle = sim.schedule_at(500, lambda: None)
+    handle = sim.schedule_at_cancellable(500, lambda: None)
     assert handle.time == 500
 
 
@@ -49,19 +49,31 @@ def test_cannot_schedule_in_past(sim):
         sim.schedule(-1, lambda: None)
     with pytest.raises(SimulationError):
         sim.schedule_at(50, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_cancellable(-1, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_at_cancellable(50, lambda: None)
 
 
 def test_cancelled_event_does_not_fire(sim):
     fired = []
-    handle = sim.schedule(100, fired.append, 1)
+    handle = sim.schedule_cancellable(100, fired.append, 1)
     handle.cancel()
     sim.run()
     assert fired == []
     assert handle.cancelled
 
 
+def test_cancellable_event_fires_when_not_cancelled(sim):
+    fired = []
+    sim.schedule_cancellable(100, fired.append, 1)
+    sim.run()
+    assert fired == [1]
+    assert sim.now == 100
+
+
 def test_cancel_is_idempotent(sim):
-    handle = sim.schedule(100, lambda: None)
+    handle = sim.schedule_cancellable(100, lambda: None)
     handle.cancel()
     handle.cancel()
     sim.run()
@@ -121,10 +133,39 @@ def test_step_returns_false_when_empty(sim):
 
 
 def test_peek_time_skips_cancelled(sim):
-    h1 = sim.schedule(100, lambda: None)
+    h1 = sim.schedule_cancellable(100, lambda: None)
     sim.schedule(200, lambda: None)
     h1.cancel()
     assert sim.peek_time() == 200
+
+
+def test_pending_live_excludes_cancelled(sim):
+    h1 = sim.schedule_cancellable(100, lambda: None)
+    sim.schedule_cancellable(150, lambda: None)
+    sim.schedule(200, lambda: None)
+    assert sim.pending == 3
+    assert sim.pending_live == 3
+    h1.cancel()
+    assert sim.pending == 3
+    assert sim.pending_live == 2
+
+
+def test_mixed_plain_and_cancellable_fifo_order(sim):
+    order = []
+    sim.schedule(50, order.append, "plain-0")
+    sim.schedule_cancellable(50, order.append, "cancellable")
+    sim.schedule(50, order.append, "plain-1")
+    sim.run()
+    assert order == ["plain-0", "cancellable", "plain-1"]
+
+
+def test_run_skips_cancelled_without_counting(sim):
+    h = sim.schedule_cancellable(100, lambda: None)
+    sim.schedule(200, lambda: None)
+    h.cancel()
+    sim.run()
+    assert sim.events_processed == 1
+    assert sim.now == 200
 
 
 def test_events_processed_counter(sim):
@@ -148,6 +189,6 @@ def test_cancelled_events_drop_references(sim):
         pass
 
     obj = Big()
-    handle = sim.schedule(100, lambda o: None, obj)
+    handle = sim.schedule_cancellable(100, lambda o: None, obj)
     handle.cancel()
     assert handle.args == ()
