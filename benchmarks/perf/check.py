@@ -7,7 +7,8 @@ Usage::
 
 Fails (exit 1) when any microbenchmark's ops/sec drops more than
 ``tolerance`` below the baseline, or the end-to-end wall-clock at a matching
-scale exceeds the baseline by more than ``tolerance``. The default 30 %
+scale — or the many-flow population wall-clock at a matching flow count —
+exceeds the baseline by more than ``tolerance``. The default 30 %
 margin absorbs host-to-host variation on CI runners; a real hot-path
 regression (a reintroduced per-event allocation, an accidental O(n log n)
 re-sort) moves these numbers far more than that.
@@ -44,6 +45,16 @@ def compare(result: dict, baseline: dict, tolerance: float) -> list[str]:
             failures.append(
                 f"e2e@{e2e['scale_mib']:g}MiB: {e2e['wall_s']:.3f}s is more "
                 f"than {tolerance:.0%} above baseline {entry['wall_s']:.3f}s"
+            )
+    manyflow = result.get("manyflow")
+    base_manyflow = baseline.get("manyflow", {})
+    entry = base_manyflow.get(str(manyflow["flows"])) if manyflow else None
+    if manyflow and entry:
+        ceiling = entry["wall_s"] * (1.0 + tolerance)
+        if manyflow["wall_s"] > ceiling:
+            failures.append(
+                f"manyflow@{manyflow['flows']}flows: {manyflow['wall_s']:.3f}s is "
+                f"more than {tolerance:.0%} above baseline {entry['wall_s']:.3f}s"
             )
     return failures
 

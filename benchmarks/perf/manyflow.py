@@ -1,0 +1,64 @@
+"""Many-flow population timing (ROADMAP item 2's tracked scale number).
+
+Runs one complete flow-population simulation — N Poisson arrivals across the
+four stack profiles, heterogeneous RTTs, one shared bottleneck, columnar
+capture only — several times and reports the best wall-clock plus the
+simulator event rate. This is the scale axis the single-connection e2e
+benchmark cannot see: hundreds of concurrent sockets, per-flow timers, and
+one shared queue all contending in the same event heap.
+
+Population size follows the ``REPRO_FLOWS`` knob (default 200, the
+acceptance scale; CI smoke uses a smaller population, keyed separately in
+``baseline.json``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict
+
+from repro.framework.population import PopulationConfig, run_population
+from repro.units import kib, ms, seconds
+
+
+def flow_count() -> int:
+    return int(os.environ.get("REPRO_FLOWS", "200"))
+
+
+def population_config(flows: int) -> PopulationConfig:
+    """The benchmark workload: fixed parameters so the number tracks the
+    engine, not the scenario."""
+    return PopulationConfig(
+        flows=flows,
+        arrival="poisson",
+        arrival_rate_per_s=100.0,
+        file_size=kib(64),
+        extra_rtt_max_ns=ms(40),
+        profiles=("quiche:cubic:fq", "picoquic:bbr", "ngtcp2:cubic", "tcp"),
+        max_sim_time_ns=seconds(300),
+    )
+
+
+def bench_manyflow(flows: int | None = None, seed: int = 1, runs: int = 3) -> Dict:
+    if flows is None:
+        flows = flow_count()
+    cfg = population_config(flows)
+    times = []
+    result = None
+    for _ in range(runs):
+        t0 = time.perf_counter()
+        result = run_population(cfg, seed=seed)
+        times.append(time.perf_counter() - t0)
+    best = min(times)
+    return {
+        "flows": flows,
+        "seed": seed,
+        "runs": runs,
+        "wall_s": round(best, 4),
+        "wall_s_all": [round(t, 4) for t in times],
+        "events": result.events_processed,
+        "events_per_sec": round(result.events_processed / best, 1),
+        "completed_flows": result.completed_count,
+        "fingerprint": result.fingerprint(),
+    }

@@ -5,9 +5,10 @@ Usage::
     python -m benchmarks.perf.run [--out BENCH_5.json] [--repeats 3] [--runs 5]
 
 The output JSON holds the microbenchmark ops/sec, the end-to-end wall-clock
-and events/sec at the current ``REPRO_SCALE_MIB``, and — when the committed
-baseline records a pre-overhaul time for that scale — the speedup over the
-pre-PR engine.
+and events/sec at the current ``REPRO_SCALE_MIB``, the many-flow population
+wall-clock at the current ``REPRO_FLOWS``, and — when the committed baseline
+records a pre-overhaul time for that scale — the speedup over the pre-PR
+engine.
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ import platform
 from pathlib import Path
 
 from benchmarks.perf.e2e import bench_e2e, scale_mib
+from benchmarks.perf.manyflow import bench_manyflow, flow_count
 from benchmarks.perf.microbench import run_all
 
 BASELINE_PATH = Path(__file__).parent / "baseline.json"
@@ -31,6 +33,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--runs", type=int, default=5, help="repetitions of the e2e transfer"
+    )
+    parser.add_argument(
+        "--flow-runs", type=int, default=3,
+        help="repetitions of the many-flow population run",
     )
     args = parser.parse_args(argv)
 
@@ -48,11 +54,21 @@ def main(argv: list[str] | None = None) -> int:
         f"{e2e['packets_on_wire']} packets"
     )
 
+    flows = flow_count()
+    print(f"perf: many-flow population at {flows} flows (best of {args.flow_runs}) ...")
+    manyflow = bench_manyflow(runs=args.flow_runs)
+    print(
+        f"  wall {manyflow['wall_s']:.3f}s  "
+        f"{manyflow['events_per_sec']:,.0f} events/s  "
+        f"{manyflow['completed_flows']}/{flows} flows completed"
+    )
+
     payload = {
         "schema": 1,
         "python": platform.python_version(),
         "micro": micro,
         "e2e": e2e,
+        "manyflow": manyflow,
     }
 
     if BASELINE_PATH.exists():

@@ -3,7 +3,10 @@
 Commands:
 
 * ``run``      — run one configuration and print the paper metrics;
-* ``sweep``    — run a whole scenario grid in parallel with result caching;
+* ``sweep``    — run a whole scenario grid in parallel with result caching
+  (including ``population`` and head-to-head ``duels`` grids);
+* ``population`` — run a generated flow population (hundreds of concurrent
+  flows over one bottleneck) and report per-flow distributions + fairness;
 * ``compete``  — run several flows against each other over one bottleneck;
 * ``analyze``  — run the paper's evaluation pipeline on a capture CSV
   (including captures exported with ``run --capture`` or converted from the
@@ -265,6 +268,10 @@ def _sweep_grid(args: argparse.Namespace) -> dict:
         }
     if args.grid == "impairments":
         return scenarios.impairment_sweep(**scale)
+    if args.grid == "population":
+        return scenarios.population_sweep(flows=args.flows, **scale)
+    if args.grid == "duels":
+        return scenarios.fairness_duels(**scale)
     return scenarios.network_sweep(**scale)
 
 
@@ -308,8 +315,109 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             title=f"sweep: {args.grid} (metrics pooled over {args.reps} reps)",
         )
     )
+    if args.grid == "duels":
+        from repro.framework.population import duel_analysis
+
+        analysis = duel_analysis(
+            {
+                name: summary.results[0]
+                for name, summary in summaries.items()
+                if summary.results
+            }
+        )
+        if analysis["beats"]:
+            print("beats relation (>5% goodput margin, head-to-head):")
+            for winner, loser in analysis["beats"]:
+                print(f"  {winner} beats {loser}")
+        violations = analysis["transitivity_violations"]
+        if violations:
+            print("transitivity VIOLATED — no consistent pecking order:")
+            for a, b, c in violations:
+                print(f"  {a} beats {b}, {b} beats {c}, but {a} does not beat {c}")
+        else:
+            print("transitivity holds: competition outcomes form a consistent order")
     if cache is not None:
         print(f"cache: {cache.stats}", file=sys.stderr)
+    return _report_failures(summaries)
+
+
+def _cmd_population(args: argparse.Namespace) -> int:
+    from repro.framework.population import PopulationConfig
+    from repro.units import ms, seconds
+
+    config = PopulationConfig(
+        flows=args.flows,
+        arrival=args.arrival,
+        arrival_rate_per_s=args.rate,
+        file_size=int(args.size_kib * 1024),
+        size_dist=args.size_dist,
+        extra_rtt_max_ns=int(ms(1) * args.rtt_spread_ms),
+        profiles=tuple(args.profiles),
+        repetitions=args.reps,
+        seed=args.seed,
+        max_sim_time_ns=seconds(args.max_sim_s),
+    )
+    config.validate()
+    cache = _make_cache(args)
+    print(
+        f"running population: {config.flows} flows, {config.arrival} arrivals, "
+        f"{len(config.profiles)} profile(s), x{config.repetitions} rep(s) ..."
+    )
+    runner = SweepRunner(
+        workers=args.workers,
+        cache=cache,
+        stream=sys.stderr,
+        policy=_make_policy(args),
+        journal_dir=_journal_dir(cache),
+        resume=args.resume,
+    )
+    summaries = runner.run({config.label: config})
+    summary = summaries[config.label]
+    if summary.results:
+        rep0 = summary.results[0]
+        rows = [
+            [
+                label,
+                str(int(stats["flows"])),
+                str(int(stats["completed"])),
+                f"{stats['goodput_mbps_mean']:.2f}",
+                f"{stats['fct_ms_mean']:.0f}",
+                str(int(stats["dropped"])),
+            ]
+            for label, stats in rep0.per_profile.items()
+        ]
+        print(
+            render_table(
+                ["profile", "flows", "done", "goodput [Mbit/s]", "FCT [ms]", "dropped"],
+                rows,
+                title=f"population (rep 0, seed {rep0.seed})",
+            )
+        )
+        for metric, dist in (
+            ("goodput [Mbit/s]", rep0.goodput_dist),
+            ("FCT [ms]", rep0.fct_ms_dist),
+        ):
+            print(
+                f"{metric}: mean {dist['mean']:.2f}  p50 {dist['p50']:.2f}  "
+                f"p90 {dist['p90']:.2f}  p99 {dist['p99']:.2f}"
+            )
+        fairness = [r.fairness for r in summary.results]
+        completed = [r.completed_count for r in summary.results]
+        print(
+            f"completed {sum(completed) / len(completed):.0f}/{config.flows} flows, "
+            f"Jain fairness (completed flows) {sum(fairness) / len(fairness):.3f} "
+            f"over {len(summary.results)} rep(s)"
+        )
+        if rep0.beats:
+            for winner, loser in rep0.beats:
+                print(f"  {winner} beats {loser} (mean goodput, >5% margin)")
+    if cache is not None:
+        print(f"cache: {cache.stats}", file=sys.stderr)
+    if args.json:
+        from repro.framework.artifacts import save_summary
+
+        path = save_summary(summary, args.json)
+        print(f"saved {path}")
     return _report_failures(summaries)
 
 
@@ -409,12 +517,20 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run a scenario grid in parallel with result caching"
     )
     sweep_p.add_argument(
-        "grid", choices=("baselines", "cca", "gso", "precision", "network", "impairments")
+        "grid",
+        choices=(
+            "baselines", "cca", "gso", "precision", "network", "impairments",
+            "population", "duels",
+        ),
     )
     sweep_p.add_argument(
         "--stack", default="quiche", choices=STACKS, help="stack for the cca grid"
     )
     sweep_p.add_argument("--size-mib", type=float, default=4.0, help="file size in MiB")
+    sweep_p.add_argument(
+        "--flows", type=int, default=50,
+        help="flows per population (population grid only; default: 50)",
+    )
     sweep_p.add_argument("--reps", type=int, default=3)
     sweep_p.add_argument("--seed", type=int, default=1)
     _add_exec(sweep_p)
@@ -424,6 +540,41 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_p.add_argument("capture", help="capture CSV (see repro.metrics.capture_io)")
     analyze_p.add_argument("--src", help="only frames from this source address")
     analyze_p.set_defaults(func=_cmd_analyze)
+
+    pop_p = sub.add_parser(
+        "population",
+        help="run a generated flow population (hundreds of flows, one bottleneck)",
+    )
+    pop_p.add_argument("--flows", type=int, default=200, help="population size")
+    pop_p.add_argument(
+        "--arrival", default="poisson", choices=("poisson", "uniform"),
+        help="arrival process (trace arrivals are API-only)",
+    )
+    pop_p.add_argument(
+        "--rate", type=float, default=100.0, help="mean arrival rate [flows/s]"
+    )
+    pop_p.add_argument("--size-kib", type=float, default=256.0, help="object size in KiB")
+    pop_p.add_argument(
+        "--size-dist", default="fixed", choices=("fixed", "exp"),
+        help="object sizes: fixed, or exponential with --size-kib mean",
+    )
+    pop_p.add_argument(
+        "--rtt-spread-ms", type=float, default=40.0,
+        help="per-flow extra RTT drawn uniformly from [0, this] ms",
+    )
+    pop_p.add_argument(
+        "--profiles", nargs="+", metavar="STACK[:CCA[:QDISC[:GSO]]]",
+        default=["quiche:cubic:fq", "picoquic:bbr", "ngtcp2:cubic", "tcp"],
+        help="stack profiles assigned round-robin across the population",
+    )
+    pop_p.add_argument("--reps", type=int, default=1)
+    pop_p.add_argument("--seed", type=int, default=1)
+    pop_p.add_argument(
+        "--max-sim-s", type=float, default=600.0, help="simulated-time budget"
+    )
+    pop_p.add_argument("--json", metavar="PATH", help="save results as JSON")
+    _add_exec(pop_p)
+    pop_p.set_defaults(func=_cmd_population)
 
     compete_p = sub.add_parser("compete", help="run competing flows")
     compete_p.add_argument(

@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Any, Dict
 
 from repro.framework.experiment import ExperimentResult
+from repro.framework.population import PopulationResult
 from repro.framework.runner import RunSummary
 from repro.metrics.gaps import fraction_leq, inter_packet_gaps
 from repro.metrics.trains import packets_by_train_length
@@ -62,12 +63,49 @@ def result_to_dict(result: ExperimentResult, include_capture: bool = False) -> D
     return out
 
 
+def population_result_to_dict(result: PopulationResult) -> Dict[str, Any]:
+    """Serialize one population repetition: the aggregate evaluation view
+    (distributions, fairness, competition matrix), never the per-flow
+    capture — populations keep the capture columnar and in-memory only."""
+    config_dict = json.loads(json.dumps(dataclasses.asdict(result.config)))
+    return {
+        "config": config_dict,
+        "seed": result.seed,
+        "fingerprint": result.fingerprint(),
+        "completed": result.completed,
+        "flows": len(result.multi.flows),
+        "completed_flows": result.completed_count,
+        "duration_ns": result.duration_ns,
+        "aggregate_goodput_mbps": result.goodput_mbps,
+        "dropped": result.dropped,
+        "injected_drops": result.injected_drops,
+        "ack_drops": result.multi.ack_drops,
+        "unrouted": result.multi.unrouted,
+        "fairness": result.fairness,
+        "metrics": {
+            "goodput_mbps": result.goodput_dist,
+            "fct_ms": result.fct_ms_dist,
+            "loss": result.loss_dist,
+        },
+        "per_profile": result.per_profile,
+        "ratio_matrix": result.ratio_matrix,
+        "beats": [list(pair) for pair in result.beats],
+        "transitivity_violations": [list(t) for t in result.transitivity],
+    }
+
+
+def _rep_to_dict(result, include_capture: bool) -> Dict[str, Any]:
+    if isinstance(result, PopulationResult):
+        return population_result_to_dict(result)
+    return result_to_dict(result, include_capture)
+
+
 def summary_to_dict(summary: RunSummary, include_capture: bool = False) -> Dict[str, Any]:
     return {
         "label": summary.config.label,
         "goodput_mbps": {"mean": summary.goodput.mean, "std": summary.goodput.std},
         "dropped": {"mean": summary.dropped.mean, "std": summary.dropped.std},
-        "repetitions": [result_to_dict(r, include_capture) for r in summary.results],
+        "repetitions": [_rep_to_dict(r, include_capture) for r in summary.results],
         # Failed repetitions ride along as structured records (never silently
         # dropped from the artifact): exception type, attempts, wall time.
         "failures": [f.as_dict() for f in summary.failures],

@@ -37,11 +37,16 @@ from typing import Optional, TextIO, Union
 
 from repro.framework.config import ExperimentConfig
 from repro.framework.experiment import ExperimentResult
+from repro.framework.population import PopulationResult
 
 #: Bump whenever the on-disk entry format or ``ExperimentResult`` shape
 #: changes incompatibly; older entries are evicted on first touch.
 #: v2: ExperimentResult gained injected_drops / impairment_stats.
 CACHE_VERSION = 2
+
+#: Result types the cache will serve back; anything else in an entry is
+#: treated as stale and quarantined.
+_RESULT_TYPES = (ExperimentResult, PopulationResult)
 
 
 def default_cache_dir() -> Path:
@@ -118,7 +123,7 @@ class ResultCache:
             return None
         try:
             version, result = pickle.loads(payload)
-            if version != self.version or not isinstance(result, ExperimentResult):
+            if version != self.version or not isinstance(result, _RESULT_TYPES):
                 raise ValueError(f"stale cache entry (version {version!r})")
         except Exception as exc:
             self._evict(path, reason=f"{type(exc).__name__}: {exc}")

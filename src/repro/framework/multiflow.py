@@ -10,24 +10,46 @@ single-connection experiments never touch.
 Topology: every sender has its own host (socket, qdisc, GSO stage, NIC,
 1 Gbit/s link) feeding the shared optical tap and TBF bottleneck; the
 bottleneck egress demultiplexes to per-flow client sockets by destination
-port; ACKs return over a shared reverse link with 20 ms delay.
+port; ACKs return over a shared reverse link with 20 ms delay, plus an
+optional per-flow extra delay stage (``FlowSpec.extra_rtt_ns``) so flow
+populations can have heterogeneous RTTs over one shared queue.
+
+Accounting. Per-flow goodput is computed from the bytes actually delivered
+to the receiving application (``FlowResult.bytes_received``), never from the
+configured file size — a stalled flow that delivered 1 % of its file reports
+1 % of the rate, not a full-file fantasy number. Drops are attributed
+end-to-end: congestion (bottleneck queue overflow) per flow, injected
+forward-path impairment drops per flow, injected reverse-path (ACK) drops
+per flow, and unrouted demux datagrams (always a wiring bug; the
+conservation validator gates on zero).
+
+Scale. ``capture_records=False`` skips materializing per-flow
+:class:`CaptureRecord` lists, so a several-hundred-flow population run keeps
+the capture columnar (O(packets) machine integers, PR 5's layout) instead of
+holding O(flows × packets) record objects; per-flow wire-packet counts are
+still derived in one pass over the columns.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+import hashlib
+import json
+import time
+from collections import Counter
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from repro.cc.factory import make_cc
 from repro.framework.config import NetworkConfig
 from repro.kernel.gso import GsoSegmenter
 from repro.kernel.qdisc import make_qdisc
 from repro.kernel.qdisc.netem import NetemQdisc
-from repro.kernel.socket import UdpSocket
+from repro.kernel.socket import UdpSocket, reset_gso_ids
 from repro.metrics.fairness import jain_index
 from repro.metrics.goodput import goodput_mbps
 from repro.net.bottleneck import Bottleneck
 from repro.net.demux import PortDemux
+from repro.net.impairments import build_impairments
 from repro.net.link import Link
 from repro.net.nic import Nic
 from repro.net.packet import reset_dgram_ids
@@ -48,6 +70,11 @@ SERVER_ADDR = "10.0.0.1"
 CLIENT_ADDR = "10.0.0.2"
 BASE_SERVER_PORT = 4433
 BASE_CLIENT_PORT = 50000
+
+#: Ports are allocated as BASE + index on both sides; beyond this many flows
+#: the server range would collide with the client range.
+MAX_FLOWS = BASE_CLIENT_PORT - BASE_SERVER_PORT
+
 MTU_PAYLOAD = 1252
 
 
@@ -62,6 +89,10 @@ class FlowSpec:
     spurious_rollback: Optional[bool] = None
     file_size: int = mib(4)
     start_ns: int = 0
+    #: Extra round-trip time for this flow, applied as additional one-way
+    #: delay on its reverse (ACK) path — heterogeneous RTTs over one shared
+    #: forward bottleneck, the flow-population setup.
+    extra_rtt_ns: int = 0
 
     @property
     def label(self) -> str:
@@ -76,9 +107,27 @@ class FlowResult:
     spec: FlowSpec
     completed: bool
     duration_ns: int
+    #: Computed from ``bytes_received`` (bytes actually delivered to the
+    #: application), not from ``spec.file_size`` — an incomplete flow reports
+    #: the rate it actually achieved.
     goodput_mbps: float
+    #: Congestion (bottleneck queue-overflow) drops attributed to this flow.
     dropped: int
+    #: Application bytes delivered to the receiver (== file_size iff completed).
+    bytes_received: int = 0
+    #: Forward-path fault-injection drops attributed to this flow.
+    injected_drops: int = 0
+    #: Reverse-path (ACK) fault-injection drops attributed to this flow.
+    ack_drops: int = 0
+    #: Frames this flow put on the wire (tap capture), counted columnar.
+    wire_packets: int = 0
+    start_ns: int = 0
     records: List[CaptureRecord] = field(default_factory=list)
+
+    @property
+    def fct_ns(self) -> int:
+        """Flow completion time (valid when ``completed``)."""
+        return self.duration_ns
 
 
 @dataclass
@@ -86,10 +135,30 @@ class MultiFlowResult:
     flows: List[FlowResult]
     total_dropped: int
     sim_time_ns: int
+    seed: int = 0
+    #: Forward-path injected (impairment) drops, all flows.
+    injected_drops: int = 0
+    #: Reverse-path (ACK) injected drops, all flows.
+    ack_drops: int = 0
+    #: Datagrams the port demuxes could not route (always a wiring bug; the
+    #: conservation validator gates on zero).
+    unrouted: int = 0
+    #: Per-stage impairment counters, keyed ``"{dir}/{index}/{kind}"``.
+    impairment_stats: dict = field(default_factory=dict)
+    #: Execution observability, excluded from the fingerprint.
+    events_processed: int = 0
+    wall_time_s: float = 0.0
 
     @property
     def fairness(self) -> float:
         return jain_index([f.goodput_mbps for f in self.flows])
+
+    @property
+    def fairness_completed(self) -> float:
+        """Jain index over completed flows only (population reporting); 1.0
+        when nothing completed (no allocation to be unfair about)."""
+        done = [f.goodput_mbps for f in self.flows if f.completed]
+        return jain_index(done) if done else 1.0
 
     @property
     def aggregate_goodput_mbps(self) -> float:
@@ -98,6 +167,57 @@ class MultiFlowResult:
     @property
     def all_completed(self) -> bool:
         return all(f.completed for f in self.flows)
+
+    @property
+    def completed_count(self) -> int:
+        return sum(1 for f in self.flows if f.completed)
+
+    @property
+    def bytes_received(self) -> int:
+        return sum(f.bytes_received for f in self.flows)
+
+    def fingerprint(self) -> str:
+        """Stable digest of every deterministic field.
+
+        Excludes execution observability (``wall_time_s``,
+        ``events_processed``) and the optional capture-record lists (which
+        are an observability toggle, not a result: a run with
+        ``capture_records=False`` must fingerprint identically to the same
+        run with capture on).
+        """
+        payload = {
+            "seed": self.seed,
+            "sim_time_ns": self.sim_time_ns,
+            "total_dropped": self.total_dropped,
+            "injected_drops": self.injected_drops,
+            "ack_drops": self.ack_drops,
+            "unrouted": self.unrouted,
+            "impairment_stats": self.impairment_stats,
+            "flows": [
+                {
+                    "spec": asdict(f.spec),
+                    "completed": f.completed,
+                    "duration_ns": f.duration_ns,
+                    "goodput_mbps": f.goodput_mbps,
+                    "bytes_received": f.bytes_received,
+                    "dropped": f.dropped,
+                    "injected_drops": f.injected_drops,
+                    "ack_drops": f.ack_drops,
+                    "wire_packets": f.wire_packets,
+                    "start_ns": f.start_ns,
+                }
+                for f in self.flows
+            ],
+        }
+        encoded = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(encoded).hexdigest()
+
+    def validate(self) -> None:
+        """Check the multi-flow conservation invariants (see
+        :func:`repro.framework.validate.validate_multiflow`)."""
+        from repro.framework.validate import validate_multiflow
+
+        validate_multiflow(self)
 
 
 class _Flow:
@@ -121,40 +241,71 @@ class _Flow:
 
     def timing(self, fallback_now: int) -> tuple[int, int]:
         if self.tcp_receiver is not None:
-            start = self.tcp_sender.started_at or 0
+            start = self.tcp_sender.started_at or self.spec.start_ns
             end = self.tcp_receiver.completed_at or fallback_now
         else:
             start = self.client_driver.request_sent_at or self.spec.start_ns
             end = self.client_driver.completed_at or fallback_now
         return start, max(end, start + 1)
 
+    def bytes_delivered(self) -> int:
+        """Application bytes the receiver actually got (contiguous)."""
+        if self.tcp_receiver is not None:
+            # rcv_nxt is the contiguous in-order frontier; the FIN carries no
+            # payload, so it never exceeds the file size.
+            return min(self.tcp_receiver.rcv_nxt, self.spec.file_size)
+        stream = self.client_driver.conn.recv_streams.get(0)
+        if stream is None:
+            return 0
+        # Strip the HTTP/3 response framing (HEADERS + DATA frame header) so
+        # the count is body bytes, directly comparable to spec.file_size.
+        prefix = len(h3.encode_response_prefix(self.spec.file_size))
+        body = stream.delivered - prefix
+        return max(0, min(body, self.spec.file_size))
+
 
 class MultiFlowExperiment:
+    """N flows over one shared bottleneck.
+
+    ``capture_records=False`` keeps the capture columnar only: per-flow
+    ``FlowResult.records`` lists stay empty (wire-packet counts are still
+    reported), which is what flow-population runs use to avoid holding
+    O(flows × packets) record objects.
+    """
+
     def __init__(
         self,
         flows: Sequence[FlowSpec],
         network: Optional[NetworkConfig] = None,
         seed: int = 1,
         max_sim_time_ns: int = seconds(300),
+        capture_records: bool = True,
     ):
         if not flows:
             raise ValueError("at least one flow is required")
+        if len(flows) > MAX_FLOWS:
+            raise ValueError(
+                f"{len(flows)} flows exceed the port budget ({MAX_FLOWS}): "
+                f"server ports would collide with client ports"
+            )
         self.specs = list(flows)
         self.network = network or NetworkConfig()
         self.seed = seed
         self.max_sim_time_ns = max_sim_time_ns
+        self.capture_records = capture_records
         self.sim = Simulator()
         self.rngs = RngRegistry(seed)
         self.sniffer = Sniffer()
         self._flows: List[_Flow] = []
         reset_dgram_ids()
+        reset_gso_ids()
         self._build()
 
     # -- assembly ------------------------------------------------------------
 
     def _build(self) -> None:
         net = self.network
-        client_demux = PortDemux()
+        self.client_demux = PortDemux()
         self.bottleneck = Bottleneck(
             self.sim,
             "bottleneck",
@@ -162,20 +313,40 @@ class MultiFlowExperiment:
             queue_limit_bytes=net.buffer_bytes,
             burst_bytes=net.tbf_burst_bytes,
             delay_ns=net.one_way_delay_ns,
-            sink=client_demux,
+            sink=self.client_demux,
         )
-        tap = FiberTap(self.sim, self.sniffer, sink=self.bottleneck)
+        # Forward-path fault injection between the tap and the bottleneck,
+        # exactly as in the single-flow Experiment: the sniffer sees the
+        # senders' pacing untouched, the clients observe the impaired path.
+        fwd_head, self.fwd_impairments, self.flappers = build_impairments(
+            net.forward_impairments,
+            self.sim,
+            sink=self.bottleneck,
+            rng_for=self.rngs.stream,
+            direction="fwd",
+            bottleneck=self.bottleneck,
+        )
+        tap = FiberTap(self.sim, self.sniffer, sink=fwd_head)
 
-        server_demux = PortDemux()
+        self.server_demux = PortDemux()
         reverse_netem = NetemQdisc(
             self.sim,
             "reverse-netem",
-            sink=server_demux,
+            sink=self.server_demux,
             delay_ns=net.one_way_delay_ns,
             rng=self.rngs.stream("reverse-netem"),
         )
+        # Reverse-path (ACK) fault injection between the shared reverse link
+        # and the delay stage.
+        rev_head, self.rev_impairments, _ = build_impairments(
+            net.reverse_impairments,
+            self.sim,
+            sink=reverse_netem,
+            rng_for=self.rngs.stream,
+            direction="rev",
+        )
         reverse_link = Link(
-            self.sim, "reverse-link", net.link_rate_bps, propagation_ns=us(1), sink=reverse_netem
+            self.sim, "reverse-link", net.link_rate_bps, propagation_ns=us(1), sink=rev_head
         )
 
         for index, spec in enumerate(self.specs):
@@ -187,7 +358,7 @@ class MultiFlowExperiment:
                 self.sim, CLIENT_ADDR, flow.client_port, egress=reverse_link, rcvbuf_bytes=mib(50)
             )
             client_sock.connect(SERVER_ADDR, flow.server_port)
-            client_demux.add_route(flow.client_port, client_sock)
+            self.client_demux.add_route(flow.client_port, client_sock)
 
             link = Link(
                 self.sim, f"link-{index}", net.link_rate_bps, propagation_ns=us(1), sink=tap
@@ -208,7 +379,20 @@ class MultiFlowExperiment:
                 so_txtime=(spec.stack == "quiche"),
             )
             server_sock.connect(CLIENT_ADDR, flow.client_port)
-            server_demux.add_route(flow.server_port, server_sock)
+            # Heterogeneous per-flow RTT: extra one-way delay on this flow's
+            # reverse path only, inserted between the shared demux and the
+            # server socket so the shared forward queue stays untouched.
+            if spec.extra_rtt_ns > 0:
+                per_flow_delay = NetemQdisc(
+                    self.sim,
+                    f"rtt-{index}",
+                    sink=server_sock,
+                    delay_ns=spec.extra_rtt_ns,
+                    rng=self.rngs.stream(f"{rng_tag}-rtt"),
+                )
+                self.server_demux.add_route(flow.server_port, per_flow_delay)
+            else:
+                self.server_demux.add_route(flow.server_port, server_sock)
 
             if spec.stack == "tcp":
                 flow.tcp_sender = TcpSender(self.sim, server_sock, spec.file_size)
@@ -269,6 +453,7 @@ class MultiFlowExperiment:
     # -- run -------------------------------------------------------------------
 
     def run(self) -> MultiFlowResult:
+        wall_start = time.perf_counter()
         for flow in self._flows:
             if flow.tcp_sender is not None:
                 self.sim.schedule_at(flow.spec.start_ns, flow.tcp_sender.start)
@@ -282,29 +467,77 @@ class MultiFlowExperiment:
             if self.sim.events_processed == before and self.sim.peek_time() is None:
                 break
 
+        return self._collect(wall_start)
+
+    def _collect(self, wall_start: float) -> MultiFlowResult:
+        # One columnar pass: frames on the wire per server port. The tap sees
+        # only the forward direction (server hosts feed it), but filter by
+        # source address anyway so a future topology change cannot silently
+        # misattribute reverse frames.
+        cols = self.sniffer.columns
+        frames_by_flow_index = Counter(cols.flow_index)
+        wire_by_port: Dict[int, int] = {}
+        for flow_idx, count in frames_by_flow_index.items():
+            f = cols.flows[flow_idx]
+            if f[0] == SERVER_ADDR:
+                wire_by_port[f[1]] = wire_by_port.get(f[1], 0) + count
+
+        # Congestion drops per server port (forward path: src port == server).
+        congestion_by_port: Dict[int, int] = {}
+        for f, count in self.bottleneck.drops_by_flow.items():
+            congestion_by_port[f[1]] = congestion_by_port.get(f[1], 0) + count
+        # Injected forward drops per server port (src port of a data packet).
+        fwd_injected_by_port: Dict[int, int] = {}
+        for stage in self.fwd_impairments:
+            for f, count in stage.drops_by_flow.items():
+                fwd_injected_by_port[f[1]] = fwd_injected_by_port.get(f[1], 0) + count
+        # Injected reverse (ACK) drops per server port (dst port of an ACK).
+        ack_injected_by_port: Dict[int, int] = {}
+        for stage in self.rev_impairments:
+            for f, count in stage.drops_by_flow.items():
+                ack_injected_by_port[f[3]] = ack_injected_by_port.get(f[3], 0) + count
+
         results = []
         for flow in self._flows:
             start, end = flow.timing(self.sim.now)
-            records = [
-                r
-                for r in self.sniffer.from_host(SERVER_ADDR)
-                if r.flow[1] == flow.server_port
-            ]
-            dropped = sum(
-                count
-                for f, count in self.bottleneck.drops_by_flow.items()
-                if f[1] == flow.server_port
-            )
+            port = flow.server_port
+            if self.capture_records:
+                records = [
+                    r
+                    for r in self.sniffer.from_host(SERVER_ADDR)
+                    if r.flow[1] == port
+                ]
+            else:
+                records = []
+            bytes_received = flow.bytes_delivered()
             results.append(
                 FlowResult(
                     spec=flow.spec,
                     completed=flow.done,
                     duration_ns=end - start,
-                    goodput_mbps=goodput_mbps(flow.spec.file_size, end - start),
-                    dropped=dropped,
+                    goodput_mbps=goodput_mbps(bytes_received, end - start),
+                    dropped=congestion_by_port.get(port, 0),
+                    bytes_received=bytes_received,
+                    injected_drops=fwd_injected_by_port.get(port, 0),
+                    ack_drops=ack_injected_by_port.get(port, 0),
+                    wire_packets=wire_by_port.get(port, 0),
+                    start_ns=flow.spec.start_ns,
                     records=records,
                 )
             )
+        impairment_stats = {
+            stage.name: stage.stats.as_dict()
+            for stage in (*self.fwd_impairments, *self.rev_impairments)
+        }
         return MultiFlowResult(
-            flows=results, total_dropped=self.bottleneck.dropped, sim_time_ns=self.sim.now
+            flows=results,
+            total_dropped=self.bottleneck.dropped,
+            sim_time_ns=self.sim.now,
+            seed=self.seed,
+            injected_drops=sum(s.stats.injected_drops for s in self.fwd_impairments),
+            ack_drops=sum(s.stats.injected_drops for s in self.rev_impairments),
+            unrouted=self.client_demux.unrouted + self.server_demux.unrouted,
+            impairment_stats=impairment_stats,
+            events_processed=self.sim.events_processed,
+            wall_time_s=time.perf_counter() - wall_start,
         )

@@ -47,8 +47,12 @@ class RunSummary:
 
     @property
     def pooled_records(self) -> List[List[CaptureRecord]]:
-        """Per-repetition capture records (gaps must not straddle reps)."""
-        return [r.server_records for r in self.results]
+        """Per-repetition capture records (gaps must not straddle reps).
+
+        Population results carry no single-flow capture, so they contribute
+        no groups here — gap/train metrics simply report "-" for them.
+        """
+        return [r.server_records for r in self.results if hasattr(r, "server_records")]
 
     @property
     def all_completed(self) -> bool:
@@ -86,7 +90,13 @@ def summarize_results(
     )
 
 
-def _run_one(config: ExperimentConfig, seed: int) -> ExperimentResult:
+def _run_one(config, seed: int):
+    """Per-repetition worker: dispatches on config type so experiment grids
+    and population grids share the sweep/supervision/cache machinery."""
+    from repro.framework.population import PopulationConfig, run_population
+
+    if isinstance(config, PopulationConfig):
+        return run_population(config, seed=seed)
     return Experiment(config, seed=seed).run()
 
 

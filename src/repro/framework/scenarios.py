@@ -8,9 +8,11 @@ different ``file_size``/``repetitions`` for full-scale runs.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Optional
+from itertools import combinations
+from typing import Dict, Optional, Sequence
 
 from repro.framework.config import ExperimentConfig, NetworkConfig
+from repro.framework.population import PopulationConfig
 from repro.net.impairments import (
     burst_loss,
     duplication,
@@ -18,7 +20,7 @@ from repro.net.impairments import (
     rate_flap,
     reordering,
 )
-from repro.units import mbit, mib, ms
+from repro.units import kib, mbit, mib, ms, seconds
 
 DEFAULT_FILE_SIZE = mib(8)
 DEFAULT_REPETITIONS = 5
@@ -130,6 +132,60 @@ def impairment_config(
         network=network,
         **kwargs,
     )
+
+
+#: Stack profiles competing in the default population / duel grids.
+POPULATION_PROFILES = ("quiche:cubic:fq", "picoquic:bbr", "ngtcp2:cubic", "tcp")
+
+
+def population_sweep(
+    flows: int = 200,
+    profiles: Sequence[str] = POPULATION_PROFILES,
+    **kwargs,
+) -> Dict[str, PopulationConfig]:
+    """Flow-population grid (ROADMAP item 1's many-flow scale): one mixed
+    population with every profile sharing the bottleneck, plus one
+    homogeneous population per profile as its baseline under self-contention.
+
+    Defaults: ``flows`` Poisson arrivals at 100 flows/s, 256 KiB objects,
+    heterogeneous RTTs up to +40 ms on top of the paper's 40 ms base.
+    """
+    kwargs.setdefault("arrival_rate_per_s", 100.0)
+    kwargs.setdefault("file_size", kib(256))
+    kwargs.setdefault("extra_rtt_max_ns", ms(40))
+    kwargs.setdefault("max_sim_time_ns", seconds(600))
+    grid: Dict[str, PopulationConfig] = {
+        "mixed": PopulationConfig(flows=flows, profiles=tuple(profiles), **kwargs)
+    }
+    for profile in profiles:
+        name = profile.replace(":", "-")
+        grid[name] = PopulationConfig(flows=flows, profiles=(profile,), **kwargs)
+    return grid
+
+
+def fairness_duels(
+    profiles: Sequence[str] = POPULATION_PROFILES,
+    file_size: int = mib(2),
+    **kwargs,
+) -> Dict[str, PopulationConfig]:
+    """QUICbench-style head-to-head grid: every unordered profile pair as a
+    two-flow population (simultaneous arrival, identical RTTs), feeding the
+    pairwise throughput-ratio matrix and the transitivity check over the
+    "beats" relation (see :func:`repro.framework.population.duel_analysis`).
+    """
+    kwargs.setdefault("max_sim_time_ns", seconds(600))
+    grid: Dict[str, PopulationConfig] = {}
+    for a, b in combinations(profiles, 2):
+        name = f"{a.replace(':', '-')}__vs__{b.replace(':', '-')}"
+        grid[name] = PopulationConfig(
+            flows=2,
+            arrival="trace",
+            arrival_times_ns=(0, 0),
+            file_size=file_size,
+            profiles=(a, b),
+            **kwargs,
+        )
+    return grid
 
 
 def impairment_sweep(**kwargs) -> Dict[str, ExperimentConfig]:

@@ -1,5 +1,12 @@
-"""Parallel sweep execution: fan a ``{name: ExperimentConfig}`` grid across a
-shared process pool at per-repetition granularity, under supervision.
+"""Parallel sweep execution: fan a ``{name: config}`` grid across a shared
+process pool at per-repetition granularity, under supervision.
+
+Grids are duck-typed: any config with ``validate()``, ``label``,
+``repetitions``, ``seed``, and ``cache_key()`` runs here, so
+:class:`~repro.framework.population.PopulationConfig` grids (hundreds of
+concurrent flows per repetition) share the same caching, supervision, and
+checkpoint/resume machinery as single-connection experiment grids — the
+per-repetition worker dispatches on config type.
 
 This is the execution substrate for grid-style reproduction (the paper's
 4 stacks × 3 CCAs × 4 qdiscs × 3 GSO modes evaluation): every (config,

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 from repro.errors import ValidationError
 from repro.framework.experiment import ExperimentResult
+from repro.framework.multiflow import MultiFlowResult
+from repro.framework.population import PopulationResult
 from repro.units import SEC
 
 #: Multiplicative slack on the rate-ceiling check: covers integer rounding in
@@ -56,8 +58,137 @@ def _check_monotonic(times, invariant: str) -> None:
         previous = t
 
 
-def validate_result(result: ExperimentResult) -> None:
-    """Raise :class:`ValidationError` naming the first violated invariant."""
+def validate_result(result) -> None:
+    """Raise :class:`ValidationError` naming the first violated invariant.
+
+    Dispatches on result type so the sweep stack can gate single-flow,
+    multi-flow, and population results through one entry point.
+    """
+    if isinstance(result, PopulationResult):
+        validate_population(result)
+    elif isinstance(result, MultiFlowResult):
+        validate_multiflow(result)
+    else:
+        validate_experiment(result)
+
+
+def validate_multiflow(result: MultiFlowResult) -> None:
+    """Multi-flow conservation invariants.
+
+    Every per-flow counter must reconcile with the shared-path totals — the
+    bugs this guards against are exactly the historical ones: goodput
+    computed from the configured size instead of delivered bytes, injected
+    drops vanishing from the attribution, and unrouted demux datagrams
+    silently disappearing.
+    """
+    _check(result.sim_time_ns >= 0, "sim-time", f"negative {result.sim_time_ns}")
+    _check(
+        result.unrouted == 0,
+        "demux-routing",
+        f"{result.unrouted} datagrams reached a demux with no route "
+        f"(a flow's port was never registered)",
+    )
+    for index, flow in enumerate(result.flows):
+        tag = f"flow {index} ({flow.spec.label})"
+        _check(flow.duration_ns >= 1, "duration", f"{tag}: non-positive {flow.duration_ns}")
+        _check(flow.goodput_mbps >= 0.0, "goodput", f"{tag}: negative {flow.goodput_mbps}")
+        _check(
+            0 <= flow.bytes_received <= flow.spec.file_size,
+            "bytes-received",
+            f"{tag}: {flow.bytes_received} outside [0, {flow.spec.file_size}]",
+        )
+        if flow.completed:
+            _check(
+                flow.bytes_received == flow.spec.file_size,
+                "bytes-received",
+                f"{tag}: completed but delivered {flow.bytes_received} of "
+                f"{flow.spec.file_size} B",
+            )
+        for counter in ("dropped", "injected_drops", "ack_drops", "wire_packets"):
+            value = getattr(flow, counter)
+            _check(value >= 0, counter, f"{tag}: negative {value}")
+    _check(
+        sum(f.dropped for f in result.flows) == result.total_dropped,
+        "drop-attribution",
+        f"per-flow congestion drops sum to {sum(f.dropped for f in result.flows)} "
+        f"but the bottleneck dropped {result.total_dropped}",
+    )
+    _check(
+        sum(f.injected_drops for f in result.flows) == result.injected_drops,
+        "injected-drop-attribution",
+        f"per-flow injected drops sum to "
+        f"{sum(f.injected_drops for f in result.flows)} but the forward stages "
+        f"injected {result.injected_drops}",
+    )
+    _check(
+        sum(f.ack_drops for f in result.flows) == result.ack_drops,
+        "ack-drop-attribution",
+        f"per-flow ACK drops sum to {sum(f.ack_drops for f in result.flows)} "
+        f"but the reverse stages injected {result.ack_drops}",
+    )
+    for stage, stats in result.impairment_stats.items():
+        for counter, value in stats.items():
+            _check(
+                value >= 0,
+                "impairment-counters",
+                f"stage {stage!r} counter {counter!r} is negative ({value})",
+            )
+        _check(
+            stats["injected_drops"] <= stats["seen"],
+            "impairment-counters",
+            f"stage {stage!r} dropped {stats['injected_drops']} of only "
+            f"{stats['seen']} seen packets",
+        )
+    fwd = {k: v for k, v in result.impairment_stats.items() if k.startswith("fwd/")}
+    fwd_duplicated = sum(s["duplicated"] for s in fwd.values())
+    wire_total = sum(f.wire_packets for f in result.flows)
+    _check(
+        result.total_dropped + result.injected_drops <= wire_total + fwd_duplicated,
+        "drop-conservation",
+        f"{result.total_dropped} congestion + {result.injected_drops} injected "
+        f"drops exceed {wire_total} captured + {fwd_duplicated} duplicated frames",
+    )
+
+
+def validate_population(result: PopulationResult) -> None:
+    """Population invariants: the embedded multi-flow result plus the
+    aggregate bookkeeping that ties it back to the generating config."""
+    validate_multiflow(result.multi)
+    cfg = result.config
+    _check(
+        len(result.multi.flows) == cfg.flows,
+        "population-size",
+        f"config asked for {cfg.flows} flows but the run holds "
+        f"{len(result.multi.flows)}",
+    )
+    profile_flows = sum(int(p["flows"]) for p in result.per_profile.values())
+    _check(
+        profile_flows == cfg.flows,
+        "profile-partition",
+        f"per-profile flow counts sum to {profile_flows}, expected {cfg.flows}",
+    )
+    profile_completed = sum(int(p["completed"]) for p in result.per_profile.values())
+    _check(
+        profile_completed == result.completed_count,
+        "profile-partition",
+        f"per-profile completed counts sum to {profile_completed}, expected "
+        f"{result.completed_count}",
+    )
+    _check(
+        0.0 <= result.fairness <= 1.0 + 1e-9,
+        "fairness-range",
+        f"Jain index {result.fairness} outside [0, 1]",
+    )
+    if not cfg.capture_records:
+        _check(
+            all(not f.records for f in result.multi.flows),
+            "capture-opt-in",
+            "capture_records=False but per-flow record lists were materialized",
+        )
+
+
+def validate_experiment(result: ExperimentResult) -> None:
+    """Single-flow invariants (the original checks)."""
     cfg = result.config
 
     # -- counter sanity ----------------------------------------------------

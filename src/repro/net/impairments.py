@@ -193,6 +193,9 @@ class ImpairmentStage:
         self.rng = rng
         self.name = name or spec.kind
         self.stats = ImpairmentStats()
+        #: Injected drops keyed by the dropped datagram's flow tuple, so
+        #: multi-flow experiments can attribute shared-stage losses per flow.
+        self.drops_by_flow: dict = {}
         self.on_event: Optional[EventHook] = None
 
     def receive(self, dgram: Datagram) -> None:  # pragma: no cover - abstract
@@ -203,6 +206,7 @@ class ImpairmentStage:
 
     def _drop(self, dgram: Datagram) -> None:
         self.stats.injected_drops += 1
+        self.drops_by_flow[dgram.flow] = self.drops_by_flow.get(dgram.flow, 0) + 1
         if self.on_event is not None:
             self.on_event(
                 "network:injected_drop",

@@ -81,3 +81,110 @@ def test_contention_reduces_per_flow_goodput():
     solo = run([FlowSpec(file_size=mib(2))])
     duo = run([FlowSpec(file_size=mib(2)), FlowSpec(file_size=mib(2))])
     assert duo.flows[0].goodput_mbps < solo.flows[0].goodput_mbps
+
+
+def test_incomplete_flow_reports_delivered_goodput():
+    # Regression: goodput used to be computed from spec.file_size even when
+    # the flow never finished, so a stalled flow looked fast. Cut the run
+    # short and check the number comes from bytes actually delivered.
+    from repro.metrics.goodput import goodput_mbps
+    from repro.units import seconds
+
+    result = run([FlowSpec(file_size=mib(16))], max_sim_time_ns=seconds(1))
+    flow = result.flows[0]
+    assert not flow.completed
+    assert 0 < flow.bytes_received < flow.spec.file_size
+    assert flow.goodput_mbps == pytest.approx(
+        goodput_mbps(flow.bytes_received, flow.duration_ns)
+    )
+    # The buggy full-file number would claim >100 Mbit/s through a 40 Mbit/s
+    # bottleneck; the delivered-bytes number must respect the ceiling.
+    assert flow.goodput_mbps < 45
+
+
+def test_completed_flows_deliver_exactly_file_size():
+    result = run([FlowSpec(file_size=SMALL), FlowSpec(stack="tcp", file_size=SMALL)])
+    assert result.all_completed
+    for flow in result.flows:
+        assert flow.bytes_received == flow.spec.file_size
+
+
+def test_forward_impairments_are_wired_and_attributed():
+    # Regression: MultiFlowExperiment used to ignore NetworkConfig
+    # impairments entirely, so impaired configs silently ran clean.
+    from repro.framework.config import NetworkConfig
+    from repro.net.impairments import iid_loss
+
+    net = NetworkConfig(forward_impairments=(iid_loss(0.02),))
+    result = run([FlowSpec(file_size=SMALL), FlowSpec(file_size=SMALL)], network=net)
+    assert result.all_completed
+    assert result.injected_drops > 0
+    assert sum(f.injected_drops for f in result.flows) == result.injected_drops
+    assert "fwd/0/loss" in result.impairment_stats
+
+
+def test_reverse_impairments_drop_acks_per_flow():
+    from repro.framework.config import NetworkConfig
+    from repro.net.impairments import iid_loss
+
+    net = NetworkConfig(reverse_impairments=(iid_loss(0.05),))
+    result = run([FlowSpec(file_size=SMALL), FlowSpec(file_size=SMALL)], network=net)
+    assert result.all_completed
+    assert result.ack_drops > 0
+    assert sum(f.ack_drops for f in result.flows) == result.ack_drops
+    assert "rev/0/loss" in result.impairment_stats
+
+
+def test_unrouted_is_reported_and_zero():
+    result = run([FlowSpec(file_size=SMALL)])
+    assert result.unrouted == 0
+    result.validate()  # conservation gate passes on a clean run
+
+
+def test_validate_rejects_tampered_accounting():
+    from repro.errors import ValidationError
+
+    result = run([FlowSpec(file_size=SMALL)])
+    result.flows[0].dropped += 1  # break per-flow vs. bottleneck attribution
+    with pytest.raises(ValidationError):
+        result.validate()
+
+
+def test_fingerprint_deterministic_and_capture_independent():
+    flows = [FlowSpec(file_size=SMALL), FlowSpec(stack="tcp", file_size=SMALL)]
+    r1 = run(flows, seed=11)
+    r2 = run(flows, seed=11)
+    r3 = run(flows, seed=11, capture_records=False)
+    assert r1.fingerprint() == r2.fingerprint()
+    # Capture is an observability toggle, not a result.
+    assert r1.fingerprint() == r3.fingerprint()
+    assert all(not f.records for f in r3.flows)
+    assert r3.flows[0].wire_packets == len(r1.flows[0].records)
+    assert run(flows, seed=12).fingerprint() != r1.fingerprint()
+
+
+def test_staggered_arrival_timing_in_result():
+    late = ms(500)
+    result = run([FlowSpec(file_size=SMALL), FlowSpec(file_size=SMALL, start_ns=late)])
+    assert result.all_completed
+    assert result.flows[1].start_ns == late
+    # The late flow's transfer happens entirely after its arrival.
+    second_first_frame = min(r.time_ns for r in result.flows[1].records)
+    assert second_first_frame >= late
+
+
+def test_extra_rtt_slows_a_flow_down():
+    from repro.units import ms as _ms
+
+    base = run([FlowSpec(file_size=mib(1))])
+    slowed = run([FlowSpec(file_size=mib(1), extra_rtt_ns=_ms(80))])
+    assert base.all_completed and slowed.all_completed
+    assert slowed.flows[0].duration_ns > base.flows[0].duration_ns
+    assert slowed.fingerprint() != base.fingerprint()
+
+
+def test_port_budget_is_guarded():
+    from repro.framework.multiflow import MAX_FLOWS
+
+    with pytest.raises(ValueError):
+        MultiFlowExperiment([FlowSpec()] * (MAX_FLOWS + 1))
