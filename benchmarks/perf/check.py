@@ -56,6 +56,15 @@ def compare(result: dict, baseline: dict, tolerance: float) -> list[str]:
                 f"manyflow@{manyflow['flows']}flows: {manyflow['wall_s']:.3f}s is "
                 f"more than {tolerance:.0%} above baseline {entry['wall_s']:.3f}s"
             )
+    backend = result.get("backend", {}).get("backends", {})
+    spawn, forkserver = backend.get("spawn"), backend.get("forkserver")
+    if spawn and forkserver and forkserver["wall_s"] >= spawn["wall_s"]:
+        # The forkserver backend exists to kill per-repetition spawn/import
+        # overhead; losing to spawn means the preload is broken.
+        failures.append(
+            f"backend: forkserver ({forkserver['wall_s']:.3f}s) is not faster "
+            f"than spawn ({spawn['wall_s']:.3f}s) over the same grid"
+        )
     return failures
 
 

@@ -2,13 +2,14 @@
 
 Usage::
 
-    python -m benchmarks.perf.run [--out BENCH_5.json] [--repeats 3] [--runs 5]
+    python -m benchmarks.perf.run [--out BENCH_7.json] [--repeats 3] [--runs 5]
 
 The output JSON holds the microbenchmark ops/sec, the end-to-end wall-clock
 and events/sec at the current ``REPRO_SCALE_MIB``, the many-flow population
-wall-clock at the current ``REPRO_FLOWS``, and — when the committed baseline
-records a pre-overhaul time for that scale — the speedup over the pre-PR
-engine.
+wall-clock at the current ``REPRO_FLOWS``, the execution-backend overhead
+comparison (forkserver vs spawn per-repetition cost), and — when the
+committed baseline records a pre-overhaul time for that scale — the speedup
+over the pre-PR engine.
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ import json
 import platform
 from pathlib import Path
 
+from benchmarks.perf.backend import bench_backends
 from benchmarks.perf.e2e import bench_e2e, scale_mib
 from benchmarks.perf.manyflow import bench_manyflow, flow_count
 from benchmarks.perf.microbench import run_all
@@ -27,7 +29,7 @@ BASELINE_PATH = Path(__file__).parent / "baseline.json"
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_5.json", help="output JSON path")
+    parser.add_argument("--out", default="BENCH_7.json", help="output JSON path")
     parser.add_argument(
         "--repeats", type=int, default=3, help="repetitions per microbenchmark"
     )
@@ -37,6 +39,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--flow-runs", type=int, default=3,
         help="repetitions of the many-flow population run",
+    )
+    parser.add_argument(
+        "--backend-runs", type=int, default=3,
+        help="repetitions of the backend-overhead sweep (0 skips the section)",
     )
     args = parser.parse_args(argv)
 
@@ -70,6 +76,21 @@ def main(argv: list[str] | None = None) -> int:
         "e2e": e2e,
         "manyflow": manyflow,
     }
+
+    if args.backend_runs > 0:
+        print(f"perf: backend overhead sweep (best of {args.backend_runs}) ...")
+        backend = bench_backends(runs=args.backend_runs)
+        for name, rec in backend["backends"].items():
+            print(
+                f"  {name:12s} wall {rec['wall_s']:.3f}s  "
+                f"per-rep overhead {rec['per_rep_overhead_ms']:+.2f} ms"
+            )
+        print(
+            f"  forkserver vs spawn: "
+            f"{backend['forkserver_vs_spawn']['overhead_reduction_ms_per_rep']:+.2f} "
+            f"ms/rep saved ({backend['forkserver_vs_spawn']['speedup']:.2f}x)"
+        )
+        payload["backend"] = backend
 
     if BASELINE_PATH.exists():
         baseline = json.loads(BASELINE_PATH.read_text())

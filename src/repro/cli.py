@@ -11,6 +11,9 @@ Commands:
 * ``analyze``  — run the paper's evaluation pipeline on a capture CSV
   (including captures exported with ``run --capture`` or converted from the
   paper's published pcaps);
+* ``query``    — filter/aggregate repetitions in a result store (``--store``);
+* ``report``   — render EXPERIMENTS.md-style summary tables from a store;
+* ``store``    — inspect, migrate into, and export from a result store;
 * ``scenarios``— list the canonical paper scenarios.
 """
 
@@ -23,6 +26,8 @@ from typing import List, Optional
 from repro.errors import ConfigError
 from repro.framework.cache import ResultCache
 from repro.framework.config import ExperimentConfig, GSO_MODES, QDISCS, STACKS
+from repro.framework.executors import BACKENDS
+from repro.framework.store import FILTER_COLUMNS, METRIC_COLUMNS, ResultStore
 from repro.framework.multiflow import FlowSpec, MultiFlowExperiment
 from repro.framework.runner import RunSummary, run_repetitions
 from repro.framework.supervision import SupervisionPolicy
@@ -143,12 +148,30 @@ def _add_exec(parser: argparse.ArgumentParser) -> None:
         help="resume an interrupted invocation from its journal (--no-resume "
         "discards the journal and re-runs everything; default: resume)",
     )
+    parser.add_argument(
+        "--backend", default="pool", choices=BACKENDS,
+        help="execution backend: inprocess (serial), pool (supervised process "
+        "pool, platform default start method), spawn, or forkserver "
+        "(simulator-preloaded workers). Results are bit-identical across "
+        "backends (default: pool)",
+    )
+    parser.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="stream every settled repetition into this SQLite result store "
+        "(queryable afterwards with `repro query` / `repro report`)",
+    )
 
 
 def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
     if args.no_cache:
         return None
     return ResultCache(args.cache_dir, stream=sys.stderr)
+
+
+def _make_store(args: argparse.Namespace) -> Optional[ResultStore]:
+    if args.store is None:
+        return None
+    return ResultStore(args.store, stream=sys.stderr)
 
 
 def _make_policy(args: argparse.Namespace) -> SupervisionPolicy:
@@ -200,6 +223,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         policy=_make_policy(args),
         journal_dir=_journal_dir(cache),
         resume=args.resume,
+        backend=args.backend,
+        store=_make_store(args),
     )
     print(summary.describe())
     injected = sum(r.injected_drops for r in summary.results)
@@ -286,6 +311,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         policy=_make_policy(args),
         journal_dir=_journal_dir(cache),
         resume=args.resume,
+        backend=args.backend,
+        store=_make_store(args),
     )
     summaries = runner.run(grid)
 
@@ -370,6 +397,8 @@ def _cmd_population(args: argparse.Namespace) -> int:
         policy=_make_policy(args),
         journal_dir=_journal_dir(cache),
         resume=args.resume,
+        backend=args.backend,
+        store=_make_store(args),
     )
     summaries = runner.run({config.label: config})
     summary = summaries[config.label]
@@ -451,6 +480,179 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             f"median idle {report.median_idle_ns / 1e6:.1f} ms, "
             f"dominant cycle {report.cycle_ns / 1e6 if report.cycle_ns else float('nan'):.1f} ms"
         )
+    return 0
+
+
+def _add_store_filters(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "filters", "restrict to repetitions matching every given filter"
+    )
+    group.add_argument("--name", help="grid name (e.g. quiche, gso-on)")
+    group.add_argument("--label", help="full configuration label")
+    group.add_argument("--kind", choices=("experiment", "population"))
+    group.add_argument("--stack", choices=STACKS)
+    group.add_argument("--cca", choices=("cubic", "newreno", "bbr", "bbr2"))
+    group.add_argument("--qdisc", choices=QDISCS)
+    group.add_argument("--gso", choices=GSO_MODES)
+    group.add_argument(
+        "--impairment", metavar="SLUG",
+        help="impairment slug substring (e.g. loss-0.01, ge, reorder)",
+    )
+    group.add_argument(
+        "--completed", action=argparse.BooleanOptionalAction, default=None,
+        help="only repetitions that (--no-completed: did not) finish the transfer",
+    )
+
+
+def _store_filters(args: argparse.Namespace) -> dict:
+    keys = FILTER_COLUMNS + ("impairment", "completed")
+    return {key: getattr(args, key, None) for key in keys}
+
+
+def _open_store(path: str) -> ResultStore:
+    """Open an existing store for reading; never create one as a side effect."""
+    from pathlib import Path
+
+    if not Path(path).exists():
+        raise ConfigError(f"no result store at {path!r} (create one with --store)")
+    return ResultStore(path, stream=sys.stderr)
+
+
+def _md_table(headers: List[str], rows: List[List[str]]) -> str:
+    """GitHub-flavoured markdown table (the EXPERIMENTS.md format)."""
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join(" --- " for _ in headers) + "|",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in rows)
+    return "\n".join(lines)
+
+
+def _percentiles(raw: Optional[str]) -> tuple:
+    if not raw:
+        return (0.5, 0.9, 0.99)
+    return tuple(float(part) / 100.0 for part in raw.split(","))
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    with _open_store(args.store_path) as store:
+        if args.failures:
+            failures = store.failures(args.name)
+            if not failures:
+                print("no failure records match")
+                return 0
+            for failure in failures:
+                print(failure.describe())
+            return 0
+        filters = _store_filters(args)
+        if args.metric:
+            agg = store.aggregate(
+                args.metric, percentiles=_percentiles(args.percentiles), **filters
+            )
+            for key, value in agg.items():
+                print(f"{key}: {value:.4f}" if isinstance(value, float) else f"{key}: {value}")
+            return 0
+        rows_data = store.query(**filters)
+        if not rows_data:
+            print("no repetitions match")
+            return 1
+        rows = []
+        for r in rows_data:
+            rows.append(
+                [
+                    r["name"],
+                    r["label"],
+                    str(r["rep"]),
+                    str(r["seed"]),
+                    "yes" if r["completed"] else "no",
+                    f"{r['goodput_mbps']:.2f}",
+                    str(r["dropped"]),
+                    str(r["injected_drops"]),
+                    f"{r['b2b_share'] * 100:.1f}%" if r["b2b_share"] is not None else "-",
+                    f"{r['trains_leq5_share'] * 100:.1f}%"
+                    if r["trains_leq5_share"] is not None
+                    else "-",
+                    r["fingerprint"][:12],
+                ]
+            )
+        print(
+            render_table(
+                [
+                    "name", "config", "rep", "seed", "done", "goodput [Mbit/s]",
+                    "dropped", "injected", "b2b share", "trains<=5", "fingerprint",
+                ],
+                rows,
+                title=f"{len(rows)} repetition(s)",
+            )
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    with _open_store(args.store_path) as store:
+        groups = store.group_summaries(**_store_filters(args))
+        if not groups:
+            print("no repetitions match")
+            return 1
+        rows = []
+        for name, g in groups.items():
+            rows.append(
+                [
+                    name,
+                    g["label"],
+                    str(g["reps"]),
+                    str(g["goodput"]) if g["goodput"] is not None else "-",
+                    str(g["dropped"]) if g["dropped"] is not None else "-",
+                    str(g["injected"]),
+                    f"{g['b2b_share'] * 100:.1f}%" if g["b2b_share"] is not None else "-",
+                    f"{g['trains_leq5_share'] * 100:.1f}%"
+                    if g["trains_leq5_share"] is not None
+                    else "-",
+                    str(g["failed"]),
+                ]
+            )
+        headers = [
+            "name", "config", "reps", "goodput [Mbit/s]", "dropped", "injected",
+            "b2b share", "trains<=5", "failed",
+        ]
+        if args.format == "md":
+            print(_md_table(headers, rows))
+        else:
+            print(render_table(headers, rows, title="store report (metrics pooled across reps)"))
+    return 0
+
+
+def _cmd_store_info(args: argparse.Namespace) -> int:
+    import json
+
+    with _open_store(args.store_path) as store:
+        info = store.info()
+        info["fingerprint"] = store.content_fingerprint()
+        print(json.dumps(info, indent=2))
+    return 0
+
+
+def _cmd_store_migrate(args: argparse.Namespace) -> int:
+    if not args.from_cache and not args.from_json:
+        raise ConfigError("nothing to migrate: give --from-cache and/or --from-json")
+    with ResultStore(args.store_path, stream=sys.stderr) as store:
+        total = 0
+        if args.from_cache:
+            count = store.migrate_cache(args.from_cache)
+            print(f"migrated {count} repetition(s) from cache {args.from_cache}")
+            total += count
+        for path in args.from_json or ():
+            count = store.ingest_summary_json(path)
+            print(f"migrated {count} repetition(s) from artifact {path}")
+            total += count
+        print(f"store now holds {store.rep_count()} repetition(s), {store.failure_count()} failure(s)")
+    return 0
+
+
+def _cmd_store_export(args: argparse.Namespace) -> int:
+    with _open_store(args.store_path) as store:
+        path = store.export_summary_json(args.name, args.out)
+        print(f"saved {path}")
     return 0
 
 
@@ -584,6 +786,66 @@ def build_parser() -> argparse.ArgumentParser:
     compete_p.add_argument("--size-mib", type=float, default=4.0)
     compete_p.add_argument("--seed", type=int, default=1)
     compete_p.set_defaults(func=_cmd_compete)
+
+    query_p = sub.add_parser(
+        "query", help="filter/aggregate repetitions in a result store"
+    )
+    query_p.add_argument("store_path", metavar="STORE", help="result store path (see --store)")
+    query_p.add_argument(
+        "--metric", choices=METRIC_COLUMNS,
+        help="aggregate this column (mean/std/percentiles) instead of listing rows",
+    )
+    query_p.add_argument(
+        "--percentiles", metavar="P[,P...]", default=None,
+        help="percentiles for --metric, in percent (default: 50,90,99)",
+    )
+    query_p.add_argument(
+        "--failures", action="store_true",
+        help="list failure records (optionally for one --name) instead of results",
+    )
+    _add_store_filters(query_p)
+    query_p.set_defaults(func=_cmd_query)
+
+    report_p = sub.add_parser(
+        "report", help="render summary tables from a result store"
+    )
+    report_p.add_argument("store_path", metavar="STORE", help="result store path (see --store)")
+    report_p.add_argument(
+        "--format", default="ascii", choices=("ascii", "md"),
+        help="table format: ascii, or md (the EXPERIMENTS.md table format)",
+    )
+    _add_store_filters(report_p)
+    report_p.set_defaults(func=_cmd_report)
+
+    store_p = sub.add_parser(
+        "store", help="inspect, migrate into, or export from a result store"
+    )
+    store_sub = store_p.add_subparsers(dest="action", required=True)
+    info_p = store_sub.add_parser(
+        "info", help="row counts, grid names, schema version, content fingerprint"
+    )
+    info_p.add_argument("store_path", metavar="STORE")
+    info_p.set_defaults(func=_cmd_store_info)
+    migrate_p = store_sub.add_parser(
+        "migrate", help="ingest existing artifacts (result cache, JSON summaries)"
+    )
+    migrate_p.add_argument("store_path", metavar="STORE", help="store to create or extend")
+    migrate_p.add_argument(
+        "--from-cache", metavar="DIR", default=None,
+        help="migrate every readable repetition from this result-cache directory",
+    )
+    migrate_p.add_argument(
+        "--from-json", metavar="PATH", action="append", default=None,
+        help="migrate a legacy JSON artifact (repeatable)",
+    )
+    migrate_p.set_defaults(func=_cmd_store_migrate)
+    export_p = store_sub.add_parser(
+        "export", help="write one grid entry back out as a legacy JSON artifact"
+    )
+    export_p.add_argument("store_path", metavar="STORE")
+    export_p.add_argument("name", help="grid name to export (see `store info`)")
+    export_p.add_argument("out", help="output JSON path")
+    export_p.set_defaults(func=_cmd_store_export)
 
     scen_p = sub.add_parser("scenarios", help="list the paper's scenarios")
     scen_p.set_defaults(func=_cmd_scenarios)

@@ -6,23 +6,41 @@ caching."""
 
 from repro.framework.cache import CACHE_VERSION, CacheStats, ResultCache, default_cache_dir
 from repro.framework.config import ExperimentConfig, NetworkConfig
+from repro.framework.executors import (
+    BACKENDS,
+    Executor,
+    ForkServerExecutor,
+    InProcessExecutor,
+    PoolExecutor,
+    SpawnExecutor,
+    make_executor,
+)
 from repro.framework.experiment import Experiment, ExperimentResult
 from repro.framework.journal import SweepJournal, grid_key
 from repro.framework.runner import RunSummary, derive_seed, run_repetitions
+from repro.framework.store import STORE_VERSION, ResultStore
 from repro.framework.supervision import RepFailure, SupervisionPolicy, Supervisor
 from repro.framework.sweep import SweepRunner, run_sweep
 from repro.framework.validate import validate_result
 
 __all__ = [
+    "BACKENDS",
     "CACHE_VERSION",
     "CacheStats",
+    "Executor",
     "ExperimentConfig",
+    "ForkServerExecutor",
+    "InProcessExecutor",
     "NetworkConfig",
     "Experiment",
     "ExperimentResult",
+    "PoolExecutor",
     "RepFailure",
     "ResultCache",
+    "ResultStore",
     "RunSummary",
+    "STORE_VERSION",
+    "SpawnExecutor",
     "SupervisionPolicy",
     "Supervisor",
     "SweepJournal",
@@ -30,6 +48,7 @@ __all__ = [
     "default_cache_dir",
     "derive_seed",
     "grid_key",
+    "make_executor",
     "run_repetitions",
     "run_sweep",
     "validate_result",

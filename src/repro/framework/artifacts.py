@@ -94,10 +94,19 @@ def population_result_to_dict(result: PopulationResult) -> Dict[str, Any]:
     }
 
 
-def _rep_to_dict(result, include_capture: bool) -> Dict[str, Any]:
+def rep_to_dict(result, include_capture: bool = False) -> Dict[str, Any]:
+    """Serialize one repetition of either kind (experiment or population).
+
+    This is the *single* canonical JSON form of a repetition: the result
+    store persists exactly this payload per row, so a store export and a
+    JSON artifact of the same run are equal by construction.
+    """
     if isinstance(result, PopulationResult):
         return population_result_to_dict(result)
     return result_to_dict(result, include_capture)
+
+
+_rep_to_dict = rep_to_dict  # backwards-compatible alias
 
 
 def summary_to_dict(summary: RunSummary, include_capture: bool = False) -> Dict[str, Any]:

@@ -108,6 +108,8 @@ def run_repetitions(
     policy: Optional[SupervisionPolicy] = None,
     journal_dir: Optional[str] = None,
     resume: bool = True,
+    backend: Optional[str] = None,
+    store=None,
 ) -> RunSummary:
     """Run ``config.repetitions`` measurements with derived per-rep seeds.
 
@@ -128,5 +130,7 @@ def run_repetitions(
         policy=policy,
         journal_dir=journal_dir,
         resume=resume,
+        backend=backend,
+        store=store,
     ).run({config.label: config})
     return summaries[config.label]

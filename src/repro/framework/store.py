@@ -1,0 +1,704 @@
+"""Queryable columnar result store: one SQLite row per settled repetition.
+
+Campaign-scale sweeps (stacks × CCAs × qdiscs × pacing × impairments × seeds
+is 10^4-10^6 repetitions) outgrow per-repetition JSON blobs: answering "p99
+goodput of quiche/fq under burst loss" must be one SQL query, not a walk over
+a hundred thousand files. The store is the canonical artifact a sweep streams
+settled repetitions into; JSON artifacts remain available as an *export* of
+the same payload, byte-for-byte equal to what
+:func:`repro.framework.artifacts.save_summary` writes.
+
+Layout. One ``reps`` row per repetition: the per-repetition config key (the
+same normalization the :class:`~repro.framework.cache.ResultCache` uses),
+seed, result ``fingerprint()``, and the queryable scalars (goodput, drops,
+gap/train/precision metrics) as real columns — plus the full canonical
+repetition payload (:func:`~repro.framework.artifacts.rep_to_dict`) as a
+zlib-compressed JSON blob, so nothing is lost relative to the JSON artifact
+and distribution-shaped metrics (the train-length histogram, per-profile
+population breakdowns) stay available without schema churn. Failed
+repetitions land in a ``failures`` table mirroring
+:class:`~repro.framework.supervision.RepFailure`.
+
+Identity and idempotence. Rows are keyed ``(config_key, seed)`` with
+``INSERT OR REPLACE``, and the payload blob is a canonical (sorted-keys)
+encoding, so re-recording a repetition — a resumed campaign replaying its
+journal, a cache hit re-confirming a row — is a no-op rather than a
+duplicate, and an interrupted-then-resumed campaign converges to a store
+*bit-identical* in content to an uninterrupted one
+(:meth:`ResultStore.content_fingerprint`; the chaos suite pins this). A
+success recorded for a key deletes any stale failure row for that key.
+
+Versioning and migration. The schema version lives in SQLite's
+``user_version`` pragma; opening a newer-versioned store raises instead of
+misreading it. Existing artifacts migrate in: :meth:`migrate_cache` walks a
+:class:`~repro.framework.cache.ResultCache` directory and ingests every
+pickled repetition, and :meth:`ingest_summary_json` ingests the legacy
+per-run JSON layout. Deliberately *not* stored: wall-clock times, host
+names, or any other nondeterministic execution detail — equal campaigns must
+produce equal stores regardless of backend, worker count, or interruption
+history.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import zlib
+from dataclasses import asdict, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple, Union
+
+import sqlite3
+
+from repro.errors import ConfigError
+from repro.framework.artifacts import rep_to_dict
+from repro.framework.supervision import RepFailure
+from repro.metrics.gaps import Distribution
+from repro.metrics.precision import pacing_precision_ns
+from repro.metrics.stats import summarize
+from repro.net.impairments import ImpairmentSpec
+from repro.sim.random import derive_seed
+
+__all__ = ["STORE_VERSION", "ResultStore", "per_rep_key", "per_rep_key_from_dict"]
+
+#: Bump on any incompatible change to the schema or the canonical payload
+#: encoding; an older store is migrated (or rejected) on open, never misread.
+STORE_VERSION = 1
+
+#: Columns exposed to ``query``/``aggregate`` as filterable/aggregatable.
+FILTER_COLUMNS = ("name", "label", "kind", "stack", "cca", "qdisc", "gso")
+METRIC_COLUMNS = (
+    "goodput_mbps",
+    "dropped",
+    "injected_drops",
+    "duration_ns",
+    "packets_on_wire",
+    "b2b_share",
+    "trains_leq5_share",
+    "precision_ns",
+    "flows",
+    "completed_flows",
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS reps (
+    config_key          TEXT    NOT NULL,
+    seed                INTEGER NOT NULL,
+    name                TEXT    NOT NULL,
+    label               TEXT    NOT NULL,
+    kind                TEXT    NOT NULL,
+    rep                 INTEGER NOT NULL,
+    fingerprint         TEXT    NOT NULL,
+    completed           INTEGER NOT NULL,
+    duration_ns         INTEGER NOT NULL,
+    stack               TEXT,
+    cca                 TEXT,
+    qdisc               TEXT,
+    gso                 TEXT,
+    impairments         TEXT    NOT NULL DEFAULT '',
+    goodput_mbps        REAL    NOT NULL,
+    dropped             INTEGER NOT NULL,
+    injected_drops      INTEGER NOT NULL,
+    packets_on_wire     INTEGER,
+    gap_count           INTEGER,
+    b2b_count           INTEGER,
+    b2b_share           REAL,
+    train_packets       INTEGER,
+    trains_leq5_packets INTEGER,
+    trains_leq5_share   REAL,
+    precision_ns        REAL,
+    flows               INTEGER,
+    completed_flows     INTEGER,
+    payload             BLOB    NOT NULL,
+    PRIMARY KEY (config_key, seed)
+);
+CREATE INDEX IF NOT EXISTS reps_by_name  ON reps (name, rep);
+CREATE INDEX IF NOT EXISTS reps_by_shape ON reps (stack, cca, qdisc, gso);
+CREATE TABLE IF NOT EXISTS failures (
+    config_key  TEXT    NOT NULL,
+    seed        INTEGER NOT NULL,
+    name        TEXT    NOT NULL,
+    label       TEXT    NOT NULL,
+    rep         INTEGER NOT NULL,
+    error_type  TEXT    NOT NULL,
+    message     TEXT    NOT NULL,
+    traceback   TEXT    NOT NULL,
+    attempts    INTEGER NOT NULL,
+    wall_time_s REAL    NOT NULL,
+    quarantined INTEGER NOT NULL,
+    PRIMARY KEY (config_key, seed)
+);
+"""
+
+
+def per_rep_key(config) -> str:
+    """Per-repetition config key: full config with ``repetitions`` normalized.
+
+    Matches the normalization of
+    :meth:`repro.framework.cache.ResultCache.entry_key` (sans seed): growing
+    a sweep from 5 to 20 repetitions keeps the first 5 rows' keys.
+    """
+    return per_rep_key_from_dict(asdict(replace(config, repetitions=1)))
+
+
+def per_rep_key_from_dict(config_dict: Dict[str, Any]) -> str:
+    """Same key, computed from a config's JSON form (artifact migration).
+
+    ``dataclasses.asdict`` tuples and their JSON round-trip lists serialize
+    identically, so this equals :func:`per_rep_key` of the live config.
+    """
+    normalized = dict(config_dict, repetitions=1)
+    return hashlib.sha256(json.dumps(normalized, sort_keys=True).encode()).hexdigest()
+
+
+def _impairments_slug(network: Dict[str, Any]) -> str:
+    """Comma-joined impairment slugs (reverse-path prefixed ``r-``)."""
+    slugs = []
+    for spec in network.get("forward_impairments", ()) or ():
+        slugs.append(ImpairmentSpec(**dict(spec)).slug)
+    for spec in network.get("reverse_impairments", ()) or ():
+        slugs.append("r-" + ImpairmentSpec(**dict(spec)).slug)
+    return ",".join(slugs)
+
+
+def _db_seed(seed: int) -> int:
+    """Two's-complement view of a 64-bit seed (SQLite INTEGER is signed).
+
+    :func:`~repro.sim.random.derive_seed` mixes into the full unsigned
+    64-bit range; the top half would overflow SQLite's signed INTEGER, so
+    seeds are stored as their signed reinterpretation and mapped back on
+    read. The mapping is a bijection, so key identity is preserved.
+    """
+    return seed - (1 << 64) if seed >= (1 << 63) else seed
+
+
+def _from_db_seed(value: int) -> int:
+    return value + (1 << 64) if value < 0 else value
+
+
+def _encode_payload(payload: Dict[str, Any]) -> bytes:
+    """Canonical compressed encoding: equal payload dicts → equal bytes."""
+    return zlib.compress(json.dumps(payload, sort_keys=True).encode(), 6)
+
+
+def _decode_payload(blob: bytes) -> Dict[str, Any]:
+    return json.loads(zlib.decompress(blob).decode())
+
+
+class ResultStore:
+    """SQLite-backed store of settled repetitions (results and failures)."""
+
+    def __init__(self, path: Union[str, Path], stream: Optional[TextIO] = None):
+        self.path = Path(path)
+        self.stream = stream
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.row_factory = sqlite3.Row
+        version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+        if version == 0:
+            with self._conn:
+                self._conn.executescript(_SCHEMA)
+                self._conn.execute(f"PRAGMA user_version = {STORE_VERSION}")
+        elif version > STORE_VERSION:
+            self._conn.close()
+            raise ConfigError(
+                f"store {self.path} has schema version {version}, newer than "
+                f"this build's {STORE_VERSION}; refusing to misread it"
+            )
+        # version == STORE_VERSION: nothing to do. Older-but-nonzero versions
+        # would migrate here once STORE_VERSION moves past 1.
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ResultStore(path={str(self.path)!r}, reps={self.rep_count()})"
+
+    # -- recording ---------------------------------------------------------
+
+    def record_result(self, name: str, rep: int, result) -> None:
+        """Insert (or idempotently re-insert) one successful repetition."""
+        payload = rep_to_dict(result)
+        precision: Optional[float] = None
+        expected = getattr(result, "expected_send_log", None)
+        if expected and getattr(result, "server_records", None):
+            precision = pacing_precision_ns(expected, result.server_records)
+        self._ingest_payload(
+            name=name,
+            label=result.config.label,
+            rep=rep,
+            payload=payload,
+            precision_ns=precision,
+        )
+
+    def record_failure(self, failure: RepFailure, config) -> None:
+        """Insert (or idempotently re-insert) one finally-failed repetition."""
+        key = per_rep_key(config)
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO failures (config_key, seed, name, label,"
+                " rep, error_type, message, traceback, attempts, wall_time_s,"
+                " quarantined) VALUES (?,?,?,?,?,?,?,?,?,?,?)",
+                (
+                    key,
+                    _db_seed(failure.seed),
+                    failure.name,
+                    failure.label,
+                    failure.rep,
+                    failure.error_type,
+                    failure.message,
+                    failure.traceback,
+                    failure.attempts,
+                    failure.wall_time_s,
+                    int(failure.quarantined),
+                ),
+            )
+
+    def _ingest_payload(
+        self,
+        name: str,
+        label: str,
+        rep: int,
+        payload: Dict[str, Any],
+        precision_ns: Optional[float] = None,
+    ) -> None:
+        """Shared row builder for live results and migrated artifacts.
+
+        Every scalar column is derived from the canonical payload, so a
+        migrated JSON artifact and a live recording of the same repetition
+        produce identical rows (``precision_ns`` excepted: it needs the
+        expected-send log, which the JSON artifact does not carry).
+        """
+        config = payload["config"]
+        key = per_rep_key_from_dict(config)
+        seed = int(payload["seed"])
+        population = "aggregate_goodput_mbps" in payload
+        impairments = _impairments_slug(config.get("network", {}) or {})
+        row: Dict[str, Any] = {
+            "config_key": key,
+            "seed": _db_seed(seed),
+            "name": name,
+            "label": label,
+            "kind": "population" if population else "experiment",
+            "rep": rep,
+            "fingerprint": payload["fingerprint"],
+            "completed": int(bool(payload["completed"])),
+            "duration_ns": int(payload["duration_ns"]),
+            "stack": None if population else config.get("stack"),
+            "cca": None if population else config.get("cca"),
+            "qdisc": None if population else config.get("qdisc"),
+            "gso": None if population else config.get("gso"),
+            "impairments": impairments,
+            "dropped": int(payload["dropped"]),
+            "injected_drops": int(payload["injected_drops"]),
+            "precision_ns": precision_ns,
+            "payload": _encode_payload(payload),
+        }
+        if population:
+            row.update(
+                goodput_mbps=float(payload["aggregate_goodput_mbps"]),
+                packets_on_wire=None,
+                gap_count=None,
+                b2b_count=None,
+                b2b_share=None,
+                train_packets=None,
+                trains_leq5_packets=None,
+                trains_leq5_share=None,
+                flows=int(payload["flows"]),
+                completed_flows=int(payload["completed_flows"]),
+            )
+        else:
+            metrics = payload["metrics"]
+            trains = metrics["packets_by_train_length"]
+            train_packets = sum(trains.values())
+            leq5 = sum(count for length, count in trains.items() if int(length) <= 5)
+            gap_count = max(int(payload["packets_on_wire"]) - 1, 0)
+            b2b_share = float(metrics["back_to_back_share"])
+            row.update(
+                goodput_mbps=float(payload["goodput_mbps"]),
+                packets_on_wire=int(payload["packets_on_wire"]),
+                gap_count=gap_count,
+                # The share is a ratio of integer counts; recover the count
+                # exactly so pooled (cross-repetition) shares can be computed
+                # from integer sums, as the sweep CLI does.
+                b2b_count=round(b2b_share * gap_count),
+                b2b_share=b2b_share,
+                train_packets=train_packets,
+                trains_leq5_packets=leq5,
+                trains_leq5_share=float(metrics["trains_leq5_share"]),
+                flows=None,
+                completed_flows=None,
+            )
+        columns = ", ".join(row)
+        placeholders = ", ".join("?" * len(row))
+        with self._conn:
+            self._conn.execute(
+                f"INSERT OR REPLACE INTO reps ({columns}) VALUES ({placeholders})",
+                tuple(row.values()),
+            )
+            # A success supersedes any stale failure for the same repetition
+            # (e.g. re-run after --no-resume healed a crash-looping config).
+            self._conn.execute(
+                "DELETE FROM failures WHERE config_key = ? AND seed = ?",
+                (key, _db_seed(seed)),
+            )
+
+    # -- migration ---------------------------------------------------------
+
+    def ingest_summary_json(self, path: Union[str, Path]) -> int:
+        """Migrate one legacy JSON artifact (``save_summary`` layout).
+
+        Returns the number of repetitions ingested. The artifact's label
+        doubles as the grid name (per-run artifacts predate grids).
+        """
+        data = json.loads(Path(path).read_text())
+        label = data["label"]
+        count = 0
+        for rep, payload in enumerate(data.get("repetitions", [])):
+            self._ingest_payload(name=label, label=label, rep=rep, payload=payload)
+            count += 1
+        for failure in data.get("failures", []):
+            rec = RepFailure.from_dict(failure)
+            # Legacy artifacts carry no config per failure; key on the
+            # summary's config via the failed rep's own fields.
+            reps = data.get("repetitions", [])
+            if reps:
+                config_dict = reps[0]["config"]
+                key = per_rep_key_from_dict(config_dict)
+                with self._conn:
+                    self._conn.execute(
+                        "INSERT OR REPLACE INTO failures (config_key, seed, name,"
+                        " label, rep, error_type, message, traceback, attempts,"
+                        " wall_time_s, quarantined) VALUES (?,?,?,?,?,?,?,?,?,?,?)",
+                        (
+                            key,
+                            _db_seed(rec.seed),
+                            rec.name,
+                            rec.label,
+                            rec.rep,
+                            rec.error_type,
+                            rec.message,
+                            rec.traceback,
+                            rec.attempts,
+                            rec.wall_time_s,
+                            int(rec.quarantined),
+                        ),
+                    )
+        return count
+
+    def migrate_cache(self, cache_root: Union[str, Path]) -> int:
+        """Migrate every readable repetition out of a result-cache directory.
+
+        Walks the cache's two-level ``<key[:2]>/<key>.pkl`` layout (skipping
+        its quarantine), unpickles each entry, and ingests entries whose
+        version matches the current cache format. Returns the number of
+        repetitions ingested; unreadable or stale entries are skipped with a
+        warning on ``stream``, never propagated.
+        """
+        from repro.framework.cache import CACHE_VERSION
+
+        root = Path(cache_root)
+        count = 0
+        for path in sorted(root.glob("??/*.pkl")):
+            try:
+                version, result = pickle.loads(path.read_bytes())
+                if version != CACHE_VERSION:
+                    raise ValueError(f"stale cache version {version!r}")
+                config = result.config
+                rep = self._recover_rep(config, result.seed)
+                self.record_result(name=config.label, rep=rep, result=result)
+                count += 1
+            except Exception as exc:  # noqa: BLE001 - per-entry isolation
+                if self.stream is not None:
+                    print(
+                        f"[store] warning: skipped {path.name} during migration "
+                        f"({type(exc).__name__}: {exc})",
+                        file=self.stream,
+                        flush=True,
+                    )
+        return count
+
+    @staticmethod
+    def _recover_rep(config, seed: int) -> int:
+        """Invert ``derive_seed``: which repetition index produced ``seed``?
+
+        Cache entries do not store the repetition index; scan the config's
+        repetition range (0 when no index matches — e.g. an entry cached
+        from a later-grown sweep).
+        """
+        for rep in range(max(int(getattr(config, "repetitions", 1)), 1)):
+            if derive_seed(config.seed, rep) == seed:
+                return rep
+        return 0
+
+    # -- querying ----------------------------------------------------------
+
+    def _where(self, filters: Dict[str, Any]) -> Tuple[str, List[Any]]:
+        clauses: List[str] = []
+        params: List[Any] = []
+        for column, value in filters.items():
+            if value is None:
+                continue
+            if column == "impairment":
+                clauses.append("impairments LIKE ?")
+                params.append(f"%{value}%")
+            elif column == "completed":
+                clauses.append("completed = ?")
+                params.append(int(bool(value)))
+            elif column in FILTER_COLUMNS:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+            else:
+                raise ConfigError(
+                    f"unknown filter {column!r}; expected one of "
+                    f"{FILTER_COLUMNS + ('impairment', 'completed')}"
+                )
+        return (" WHERE " + " AND ".join(clauses)) if clauses else "", params
+
+    def query(self, **filters: Any) -> List[Dict[str, Any]]:
+        """Repetition rows (scalar columns only) matching the filters."""
+        where, params = self._where(filters)
+        cursor = self._conn.execute(
+            "SELECT name, label, kind, rep, seed, fingerprint, completed,"
+            " duration_ns, stack, cca, qdisc, gso, impairments, goodput_mbps,"
+            " dropped, injected_drops, packets_on_wire, b2b_share,"
+            " trains_leq5_share, precision_ns, flows, completed_flows"
+            f" FROM reps{where} ORDER BY name, rep, seed",
+            params,
+        )
+        return [
+            {**dict(row), "seed": _from_db_seed(row["seed"])}
+            for row in cursor.fetchall()
+        ]
+
+    def aggregate(
+        self,
+        metric: str,
+        percentiles: Sequence[float] = (0.5, 0.9, 0.99),
+        **filters: Any,
+    ) -> Dict[str, Any]:
+        """Mean/std/percentiles of one metric column over matching rows."""
+        if metric not in METRIC_COLUMNS:
+            raise ConfigError(
+                f"unknown metric {metric!r}; expected one of {METRIC_COLUMNS}"
+            )
+        where, params = self._where(filters)
+        values = [
+            row[0]
+            for row in self._conn.execute(
+                f"SELECT {metric} FROM reps{where} ORDER BY name, rep, seed", params
+            )
+            if row[0] is not None
+        ]
+        out: Dict[str, Any] = {"metric": metric, "n": len(values)}
+        if values:
+            summary = summarize([float(v) for v in values])
+            out["mean"] = summary.mean
+            out["std"] = summary.std
+            dist = Distribution(values)
+            for p in percentiles:
+                out[f"p{int(round(p * 100)):02d}"] = dist.percentile(p)
+        return out
+
+    def names(self) -> List[str]:
+        """Grid names in first-insertion (grid) order."""
+        cursor = self._conn.execute(
+            "SELECT name FROM reps GROUP BY name ORDER BY MIN(rowid)"
+        )
+        names = [row[0] for row in cursor.fetchall()]
+        for row in self._conn.execute(
+            "SELECT name FROM failures GROUP BY name ORDER BY MIN(rowid)"
+        ):
+            if row[0] not in names:
+                names.append(row[0])
+        return names
+
+    def failures(self, name: Optional[str] = None) -> List[RepFailure]:
+        """Failure records (ordered by name then repetition)."""
+        where = " WHERE name = ?" if name is not None else ""
+        params = (name,) if name is not None else ()
+        cursor = self._conn.execute(
+            "SELECT name, label, rep, seed, error_type, message, traceback,"
+            f" attempts, wall_time_s, quarantined FROM failures{where}"
+            " ORDER BY name, rep, seed",
+            params,
+        )
+        return [
+            RepFailure(
+                **{
+                    **dict(row),
+                    "seed": _from_db_seed(row["seed"]),
+                    "quarantined": bool(row["quarantined"]),
+                }
+            )
+            for row in cursor.fetchall()
+        ]
+
+    def group_summaries(self, **filters: Any) -> Dict[str, Dict[str, Any]]:
+        """Per-grid-name aggregates, shaped like the sweep CLI's table rows.
+
+        Pooled gap/train shares are computed from integer counts summed
+        across repetitions — numerically identical to pooling the raw gaps
+        (the sweep CLI's method), not a mean of per-repetition ratios.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        where, params = self._where(filters)
+        cursor = self._conn.execute(
+            "SELECT name, label, kind, COUNT(*) AS reps,"
+            " SUM(dropped) AS dropped_sum, SUM(injected_drops) AS injected,"
+            " SUM(gap_count) AS gaps, SUM(b2b_count) AS b2b,"
+            " SUM(train_packets) AS train_pkts,"
+            " SUM(trains_leq5_packets) AS train_leq5"
+            f" FROM reps{where} GROUP BY name, label ORDER BY MIN(rowid)",
+            params,
+        )
+        for row in cursor.fetchall():
+            goodput = [
+                r[0]
+                for r in self._conn.execute(
+                    "SELECT goodput_mbps FROM reps WHERE name = ? ORDER BY rep",
+                    (row["name"],),
+                )
+            ]
+            dropped = [
+                float(r[0])
+                for r in self._conn.execute(
+                    "SELECT dropped FROM reps WHERE name = ? ORDER BY rep",
+                    (row["name"],),
+                )
+            ]
+            out[row["name"]] = {
+                "label": row["label"],
+                "kind": row["kind"],
+                "reps": row["reps"],
+                "goodput": summarize(goodput),
+                "dropped": summarize(dropped),
+                "injected": int(row["injected"] or 0),
+                "b2b_share": (row["b2b"] / row["gaps"]) if row["gaps"] else None,
+                "trains_leq5_share": (
+                    row["train_leq5"] / row["train_pkts"] if row["train_pkts"] else None
+                ),
+                "failed": 0,
+            }
+        # Grid entries where *every* repetition failed have no reps rows.
+        for failure in self.failures():
+            if failure.name not in out:
+                out[failure.name] = {
+                    "label": failure.label,
+                    "kind": "experiment",
+                    "reps": 0,
+                    "goodput": None,
+                    "dropped": None,
+                    "injected": 0,
+                    "b2b_share": None,
+                    "trains_leq5_share": None,
+                    "failed": 0,
+                }
+            out[failure.name]["failed"] += 1
+        return out
+
+    # -- export ------------------------------------------------------------
+
+    def payloads(self, name: str) -> List[Dict[str, Any]]:
+        """Full canonical payload dicts for one grid name, in rep order."""
+        cursor = self._conn.execute(
+            "SELECT payload FROM reps WHERE name = ? ORDER BY rep, seed", (name,)
+        )
+        return [_decode_payload(row[0]) for row in cursor.fetchall()]
+
+    def export_summary_dict(self, name: str) -> Dict[str, Any]:
+        """The JSON-artifact form of one grid entry, from store rows alone.
+
+        Matches :func:`repro.framework.artifacts.summary_to_dict` of the
+        live :class:`RunSummary` field for field (failures ordered by
+        repetition here; the live summary keeps completion order).
+        """
+        payloads = self.payloads(name)
+        failures = self.failures(name)
+        if not payloads and not failures:
+            raise ConfigError(f"store has no repetitions named {name!r}")
+        label = None
+        row = self._conn.execute(
+            "SELECT label FROM reps WHERE name = ? LIMIT 1", (name,)
+        ).fetchone()
+        if row is not None:
+            label = row[0]
+        elif failures:
+            label = failures[0].label
+        goodput = [
+            p["aggregate_goodput_mbps"] if "aggregate_goodput_mbps" in p else p["goodput_mbps"]
+            for p in payloads
+        ]
+        dropped = [float(p["dropped"]) for p in payloads]
+        nan = float("nan")
+        return {
+            "label": label,
+            "goodput_mbps": (
+                {"mean": summarize(goodput).mean, "std": summarize(goodput).std}
+                if goodput
+                else {"mean": nan, "std": nan}
+            ),
+            "dropped": (
+                {"mean": summarize(dropped).mean, "std": summarize(dropped).std}
+                if dropped
+                else {"mean": nan, "std": nan}
+            ),
+            "repetitions": payloads,
+            "failures": [f.as_dict() for f in failures],
+        }
+
+    def export_summary_json(self, name: str, path: Union[str, Path]) -> Path:
+        """Write one grid entry back out in the legacy JSON-artifact layout."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.export_summary_dict(name), indent=2))
+        return path
+
+    # -- identity ----------------------------------------------------------
+
+    def rep_count(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM reps").fetchone()[0]
+
+    def failure_count(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM failures").fetchone()[0]
+
+    def info(self) -> Dict[str, Any]:
+        return {
+            "path": str(self.path),
+            "version": STORE_VERSION,
+            "reps": self.rep_count(),
+            "failures": self.failure_count(),
+            "names": self.names(),
+        }
+
+    def content_fingerprint(self) -> str:
+        """Digest of every row's content, insertion-order independent.
+
+        Two stores of the same campaign — uninterrupted, or killed and
+        resumed through the journal, on any backend — must digest equal.
+        Row iteration is ordered by key columns, never rowid, so replay
+        order cannot leak in.
+        """
+        digest = hashlib.sha256()
+        for row in self._conn.execute(
+            "SELECT config_key, seed, name, label, kind, rep, fingerprint,"
+            " completed, duration_ns, goodput_mbps, dropped, injected_drops,"
+            " payload FROM reps ORDER BY config_key, seed"
+        ):
+            digest.update(repr(tuple(row)[:-1]).encode())
+            digest.update(row["payload"])
+        for row in self._conn.execute(
+            "SELECT config_key, seed, name, label, rep, error_type, attempts,"
+            " quarantined FROM failures ORDER BY config_key, seed"
+        ):
+            digest.update(repr(tuple(row)).encode())
+        return digest.hexdigest()

@@ -48,6 +48,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import QuarantinedError, RepTimeoutError, ValidationError, WorkerCrashError
 from repro.framework.config import ExperimentConfig
+from repro.framework.executors import Executor, PoolExecutor
 
 __all__ = [
     "RepFailure",
@@ -176,6 +177,12 @@ class Supervisor:
     :class:`~repro.errors.ValidationError` to reject a structurally broken
     result. Outcomes are delivered via ``on_success(task, result)`` and
     ``on_failure(task, failure)`` callbacks, in completion order.
+
+    ``executor`` selects the execution backend
+    (:mod:`repro.framework.executors`): a serial backend routes everything
+    through the in-process path regardless of ``workers``; pooled backends
+    only differ in how worker processes are created — the supervision loop
+    (timeouts, retries, crash attribution, quarantine) is backend-agnostic.
     """
 
     def __init__(
@@ -183,10 +190,12 @@ class Supervisor:
         policy: SupervisionPolicy,
         run_fn: Callable[[ExperimentConfig, int], Any],
         validate_fn: Optional[Callable[[Any], None]] = None,
+        executor: Optional[Executor] = None,
     ):
         self.policy = policy
         self.run_fn = run_fn
         self.validate_fn = validate_fn
+        self.executor = executor if executor is not None else PoolExecutor()
         self._consecutive_failures: Dict[str, int] = {}
         self._quarantined: set = set()
         self._queue: deque = deque()
@@ -205,7 +214,7 @@ class Supervisor:
         self._quarantined = set()
         self._queue = deque()
         self._suspects = deque()
-        if workers <= 1 or len(tasks) <= 1:
+        if self.executor.serial or workers <= 1 or len(tasks) <= 1:
             self._run_serial(tasks, on_success, on_failure)
         else:
             self._run_pool(tasks, workers, on_success, on_failure)
@@ -250,7 +259,7 @@ class Supervisor:
     def _run_pool(self, tasks, workers, on_success, on_failure) -> None:
         queue = self._queue = deque(tasks)
         suspects = self._suspects = deque()
-        pool = ProcessPoolExecutor(max_workers=workers)
+        pool = self.executor.make_pool(workers)
         flights: Dict[Any, _Flight] = {}
         try:
             while queue or suspects or flights:
@@ -418,7 +427,7 @@ class Supervisor:
 
     def _restart_pool(self, pool, workers) -> ProcessPoolExecutor:
         self._kill_pool(pool)
-        return ProcessPoolExecutor(max_workers=workers)
+        return self.executor.make_pool(workers)
 
     @staticmethod
     def _kill_pool(pool: Optional[ProcessPoolExecutor]) -> None:

@@ -52,8 +52,10 @@ from typing import Dict, List, Mapping, Optional, TextIO, Union
 
 from repro.framework.cache import ResultCache
 from repro.framework.config import ExperimentConfig
+from repro.framework.executors import Executor, make_executor
 from repro.framework.experiment import ExperimentResult
 from repro.framework.journal import SweepJournal
+from repro.framework.store import ResultStore
 from repro.framework.runner import RunSummary, _run_one, derive_seed, summarize_results
 from repro.framework.supervision import (
     RepFailure,
@@ -87,6 +89,19 @@ class SweepRunner:
     (keyed by grid content); ``resume=False`` discards any prior journal.
     ``run_fn`` is the per-repetition worker function — a seam for chaos
     tests, which substitute crashing/hanging stand-ins.
+
+    ``backend`` selects the execution backend
+    (:mod:`repro.framework.executors`): ``"inprocess"`` (serial),
+    ``"pool"`` (the default supervised process pool), ``"spawn"``, or
+    ``"forkserver"`` (simulator-preloaded workers) — or a ready
+    :class:`~repro.framework.executors.Executor`. Backends are invisible to
+    cache keys, journals, and fingerprints: the same grid produces
+    bit-identical results under every backend.
+
+    ``store`` names a :class:`~repro.framework.store.ResultStore` that every
+    settled repetition is streamed into as it lands (successes, cache hits,
+    and final failures alike) — the queryable canonical artifact for
+    campaign-scale sweeps.
     """
 
     def __init__(
@@ -99,6 +114,8 @@ class SweepRunner:
         resume: bool = True,
         validate: bool = True,
         run_fn=_run_one,
+        backend: Union[str, Executor, None] = None,
+        store: Optional[ResultStore] = None,
     ):
         self.workers = resolve_workers(workers)
         self.cache = cache
@@ -108,6 +125,8 @@ class SweepRunner:
         self.resume = resume
         self.validate = validate
         self.run_fn = run_fn
+        self.executor = make_executor(backend)
+        self.store = store
         if self.cache is not None and self.cache.stream is None:
             self.cache.stream = stream
 
@@ -133,6 +152,8 @@ class SweepRunner:
                     # Carried forward from the interrupted run; re-run it by
                     # resuming with --no-resume (or deleting the journal).
                     failures[name].append(entry.failure)
+                    if self.store is not None:
+                        self.store.record_failure(entry.failure, config)
                     self._emit_line(
                         f"[sweep] {name} rep {rep + 1}/{config.repetitions}: "
                         f"FAILED previously ({entry.failure.error_type}) [journal]"
@@ -151,6 +172,8 @@ class SweepRunner:
                     slots[name][rep] = cached
                     if journal is not None:
                         journal.record_success(name, rep, seed, cached.fingerprint())
+                    if self.store is not None:
+                        self.store.record_result(name, rep, cached)
                     self._emit(name, config, rep, cached, cached_hit=True)
                 else:
                     pending.append(RepTask(name=name, config=config, rep=rep, seed=seed))
@@ -160,6 +183,7 @@ class SweepRunner:
                 self.policy,
                 run_fn=self.run_fn,
                 validate_fn=validate_result if self.validate else None,
+                executor=self.executor,
             )
 
             def on_success(task: RepTask, result: ExperimentResult) -> None:
@@ -180,12 +204,16 @@ class SweepRunner:
                             f"(determinism regression?)"
                         )
                     journal.record_success(task.name, task.rep, task.seed, fingerprint)
+                if self.store is not None:
+                    self.store.record_result(task.name, task.rep, result)
                 self._emit(task.name, task.config, task.rep, result, cached_hit=False)
 
             def on_failure(task: RepTask, failure: RepFailure) -> None:
                 failures[task.name].append(failure)
                 if journal is not None:
                     journal.record_failure(failure)
+                if self.store is not None:
+                    self.store.record_failure(failure, task.config)
                 self._emit_line(f"[sweep] {failure.describe()}")
 
             supervisor.run(pending, self.workers, on_success, on_failure)
@@ -228,6 +256,8 @@ def run_sweep(
     policy: Optional[SupervisionPolicy] = None,
     journal_dir: Optional[Union[str, Path]] = None,
     resume: bool = True,
+    backend: Union[str, Executor, None] = None,
+    store: Optional[ResultStore] = None,
 ) -> Dict[str, RunSummary]:
     """Convenience wrapper: build a :class:`SweepRunner` and run ``grid``."""
     return SweepRunner(
@@ -237,4 +267,6 @@ def run_sweep(
         policy=policy,
         journal_dir=journal_dir,
         resume=resume,
+        backend=backend,
+        store=store,
     ).run(grid)

@@ -17,6 +17,7 @@ import pytest
 from repro.framework.cache import ResultCache
 from repro.framework.config import ExperimentConfig, NetworkConfig
 from repro.framework.runner import _run_one
+from repro.framework.store import ResultStore
 from repro.framework.supervision import SupervisionPolicy
 from repro.framework.sweep import SweepRunner
 from repro.net.impairments import iid_loss
@@ -172,3 +173,76 @@ def always_crash_lossy_run_one(config, seed):
     if config.network.forward_impairments:
         os._exit(29)
     return _run_one(config, seed)
+
+
+# ---------------------------------------------------------------------------
+# Store chaos: a campaign killed with its result store half-written must,
+# after a journal resume — under any backend — converge to a store whose
+# content is bit-identical to an uninterrupted run's, with no duplicate rows.
+
+
+def _store_of(summaries, path) -> ResultStore:
+    """Record already-computed summaries into a fresh store (ground truth)."""
+    store = ResultStore(path)
+    for name, summary in summaries.items():
+        for rep, result in enumerate(summary.results):
+            store.record_result(name, rep, result)
+    return store
+
+
+@pytest.mark.parametrize("backend", ["pool", "forkserver"])
+def test_killed_campaign_resumes_to_bit_identical_store(
+    chaos_dir, clean_serial, backend
+):
+    cache = ResultCache(chaos_dir / "cache")
+    journal_dir = chaos_dir / "journals"
+    store_path = chaos_dir / "campaign.sqlite"
+    with pytest.raises(KeyboardInterrupt):
+        SweepRunner(
+            workers=1,
+            cache=cache,
+            journal_dir=journal_dir,
+            run_fn=interrupted_run_one,
+            store=ResultStore(store_path),
+        ).run(_grid())
+    half_written = ResultStore(store_path)
+    assert 0 < half_written.rep_count() < 4  # the kill landed mid-store
+    half_written.close()
+
+    resumed_store = ResultStore(store_path)
+    summaries = SweepRunner(
+        workers=2,
+        backend=backend,
+        cache=ResultCache(chaos_dir / "cache"),
+        journal_dir=journal_dir,
+        store=resumed_store,
+    ).run(_grid())
+    assert all(not s.failures for s in summaries.values())
+    assert resumed_store.rep_count() == 4  # journal replay added no duplicates
+    assert resumed_store.failure_count() == 0
+    clean_store = _store_of(clean_serial, chaos_dir / "clean.sqlite")
+    assert resumed_store.content_fingerprint() == clean_store.content_fingerprint()
+
+
+@pytest.mark.parametrize("backend", ["pool", "spawn", "forkserver"])
+def test_crash_looping_config_fails_into_the_store_under_every_pooled_backend(
+    tmp_path, backend
+):
+    # always_crash_lossy_run_one consults no chaos markers, so it behaves
+    # identically under spawn/forkserver workers (which see a snapshot of the
+    # parent environment, not the live one).
+    policy = SupervisionPolicy(retries=1, backoff_base_s=0.0, poll_interval_s=0.02)
+    store = ResultStore(tmp_path / f"{backend}.sqlite")
+    summaries = SweepRunner(
+        workers=2,
+        backend=backend,
+        policy=policy,
+        run_fn=always_crash_lossy_run_one,
+        store=store,
+    ).run(_grid())
+    assert len(summaries["lossy"].failures) == 2
+    assert not summaries["clean"].failures
+    assert store.rep_count() == 2  # the clean config's repetitions
+    assert store.failure_count() == 2
+    assert {f.error_type for f in store.failures()} == {"WorkerCrashError"}
+    assert {f.name for f in store.failures()} == {"lossy"}

@@ -121,3 +121,142 @@ def test_scenarios_command(capsys):
     out = capsys.readouterr().out
     assert "baseline" in out
     assert "section 4.4" in out
+
+
+# ---------------------------------------------------------------------------
+# Exit-code contract: 0 = clean, 1 = partial results (failed reps), 2 =
+# operator error (ConfigError) — under the default and the new backends.
+
+
+@pytest.mark.parametrize("backend", ["pool", "forkserver"])
+def test_failed_reps_exit_1_and_show_in_the_failed_column(capsys, backend):
+    # A 1 MiB transfer cannot finish inside 50 ms of wall clock; with zero
+    # retries every repetition fails, the table stays partial, and rc is 1.
+    rc = main(
+        ["run", "quiche", "--size-mib", "1", "--reps", "2", "--timeout", "0.05",
+         "--retries", "0", "--workers", "2", "--backend", backend, "--no-cache"]
+    )
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "2 repetition(s) FAILED" in out
+    assert "RepTimeoutError" in out
+
+
+def test_invalid_backend_is_rejected_by_the_parser():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "quiche", "--backend", "threads"])
+
+
+@pytest.mark.parametrize("backend", ["inprocess", "forkserver"])
+def test_run_under_new_backends_matches_pool_output(capsys, backend):
+    argv = ["run", "quiche", "--size-mib", "0.25", "--no-cache"]
+    assert main(argv + ["--backend", "pool"]) == 0
+    pool_out = capsys.readouterr().out
+    assert main(argv + ["--backend", backend, "--workers", "2"]) == 0
+    assert capsys.readouterr().out == pool_out
+
+
+def test_missing_store_is_an_operator_error_exit_2(capsys, tmp_path):
+    rc = main(["query", str(tmp_path / "absent.sqlite")])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: no result store")
+    assert "Traceback" not in err
+
+
+def test_sweep_failed_column_reflects_store_failures(capsys, tmp_path):
+    # The sweep table's `failed` column and the store's report must agree;
+    # with nothing failing both read 0 across the grid.
+    store = tmp_path / "st.sqlite"
+    rc = main(
+        ["sweep", "baselines", "--size-mib", "0.25", "--reps", "1",
+         "--cache-dir", str(tmp_path / "cache"), "--workers", "2",
+         "--backend", "forkserver", "--store", str(store)]
+    )
+    assert rc == 0
+    assert "failed" in capsys.readouterr().out
+    assert main(["report", str(store)]) == 0
+    report = capsys.readouterr().out
+    for name in ("quiche", "picoquic", "ngtcp2", "tcp"):
+        assert name in report
+
+
+# ---------------------------------------------------------------------------
+# Store subcommands: query/report/store over a CLI-produced store.
+
+
+@pytest.fixture
+def cli_store(tmp_path):
+    path = tmp_path / "st.sqlite"
+    rc = main(
+        ["run", "quiche", "--size-mib", "0.25", "--reps", "2", "--seed", "5",
+         "--no-cache", "--workers", "1", "--store", str(path)]
+    )
+    assert rc == 0
+    return path
+
+
+def test_query_lists_rows_and_aggregates(capsys, cli_store):
+    capsys.readouterr()
+    assert main(["query", str(cli_store)]) == 0
+    out = capsys.readouterr().out
+    assert "2 repetition(s)" in out
+    assert "quiche/cubic" in out
+
+    assert main(["query", str(cli_store), "--metric", "goodput_mbps",
+                 "--percentiles", "50,95"]) == 0
+    agg = capsys.readouterr().out
+    assert "n: 2" in agg
+    assert "mean:" in agg and "p95:" in agg
+
+    assert main(["query", str(cli_store), "--stack", "tcp"]) == 1
+    assert "no repetitions match" in capsys.readouterr().out
+
+
+def test_report_renders_ascii_and_markdown(capsys, cli_store):
+    capsys.readouterr()
+    assert main(["report", str(cli_store)]) == 0
+    ascii_out = capsys.readouterr().out
+    assert "goodput [Mbit/s]" in ascii_out
+
+    assert main(["report", str(cli_store), "--format", "md"]) == 0
+    md = capsys.readouterr().out
+    assert md.startswith("| name |")
+    assert "| --- |" in md
+    assert "| quiche/cubic |" in md
+
+
+def test_store_info_export_and_json_migration_round_trip(capsys, cli_store, tmp_path):
+    capsys.readouterr()
+    assert main(["store", "info", str(cli_store)]) == 0
+    info = json.loads(capsys.readouterr().out)
+    assert info["reps"] == 2 and info["failures"] == 0
+    assert info["names"] == ["quiche/cubic"]
+
+    exported = tmp_path / "out.json"
+    assert main(["store", "export", str(cli_store), "quiche/cubic", str(exported)]) == 0
+    capsys.readouterr()
+
+    # Migrating the export into a fresh store reproduces the original content.
+    migrated = tmp_path / "m.sqlite"
+    assert main(["store", "migrate", str(migrated), "--from-json", str(exported)]) == 0
+    assert "migrated 2 repetition(s)" in capsys.readouterr().out
+    assert main(["store", "info", str(migrated)]) == 0
+    migrated_info = json.loads(capsys.readouterr().out)
+    assert migrated_info["fingerprint"] == info["fingerprint"]
+
+
+def test_store_migrate_without_sources_exits_2(capsys, tmp_path):
+    rc = main(["store", "migrate", str(tmp_path / "m.sqlite")])
+    assert rc == 2
+    assert "nothing to migrate" in capsys.readouterr().err
+
+
+def test_store_cache_migration_from_cli_cache(capsys, tmp_path):
+    cache_dir = tmp_path / "cache"
+    assert main(["run", "quiche", "--size-mib", "0.25", "--cache-dir",
+                 str(cache_dir)]) == 0
+    capsys.readouterr()
+    store = tmp_path / "m.sqlite"
+    assert main(["store", "migrate", str(store), "--from-cache", str(cache_dir)]) == 0
+    assert "migrated 1 repetition(s) from cache" in capsys.readouterr().out

@@ -126,3 +126,16 @@ def test_sweep_modes_reproduce_identical_fingerprints(tmp_path):
         == _fingerprints(cold)
         == _fingerprints(warm)
     )
+
+
+def test_every_backend_reproduces_the_golden_sweep_fingerprints():
+    """Execution backends are invisible in the golden matrix: inprocess,
+    pool, spawn, and forkserver all reproduce the same fingerprints."""
+    from repro.framework.executors import BACKENDS
+
+    prints = {
+        backend: _fingerprints(SweepRunner(workers=2, backend=backend).run(SWEEP_GRID))
+        for backend in BACKENDS
+    }
+    reference = prints["inprocess"]
+    assert all(value == reference for value in prints.values()), prints

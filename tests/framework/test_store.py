@@ -1,0 +1,288 @@
+"""ResultStore unit tests: recording, identity, querying, migration.
+
+The differential suite (``test_store_differential.py``) pins store-vs-JSON
+equality across backends; this file covers the store's own contract —
+idempotent keys, filters, pooled aggregation, schema versioning, and
+migration from the two legacy artifact forms (result cache, summary JSON).
+"""
+
+import dataclasses
+import io
+import json
+import pickle
+import sqlite3
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.framework.cache import ResultCache
+from repro.framework.config import ExperimentConfig, NetworkConfig
+from repro.framework.experiment import run_experiment
+from repro.framework.runner import run_repetitions
+from repro.framework.store import (
+    ResultStore,
+    STORE_VERSION,
+    per_rep_key,
+    per_rep_key_from_dict,
+)
+from repro.framework.supervision import RepFailure
+from repro.metrics.gaps import fraction_leq, pooled_gaps
+from repro.metrics.trains import pooled_fraction_of_packets_in_trains_leq
+from repro.net.impairments import iid_loss
+from repro.units import kib, us
+
+CONFIG = ExperimentConfig(stack="quiche", file_size=kib(96), repetitions=2)
+LOSSY = ExperimentConfig(
+    stack="tcp",
+    file_size=kib(96),
+    repetitions=1,
+    network=NetworkConfig(forward_impairments=(iid_loss(0.02),)),
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return [run_experiment(CONFIG, seed=seed) for seed in (11, 12)]
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ResultStore(tmp_path / "results.sqlite") as st:
+        yield st
+
+
+def _failure(name="poison", seed=99, rep=0):
+    return RepFailure(
+        name=name,
+        label="quiche/cubic",
+        rep=rep,
+        seed=seed,
+        error_type="WorkerCrashError",
+        message="exit code 23",
+        traceback="Traceback ...",
+        attempts=3,
+        wall_time_s=1.5,
+        quarantined=True,
+    )
+
+
+class TestRecording:
+    def test_rows_land_with_queryable_scalars(self, store, results):
+        for rep, result in enumerate(results):
+            store.record_result("quiche", rep, result)
+        rows = store.query()
+        assert [r["rep"] for r in rows] == [0, 1]
+        assert [r["seed"] for r in rows] == [r.seed for r in results]
+        for row, result in zip(rows, results):
+            assert row["fingerprint"] == result.fingerprint()
+            assert row["goodput_mbps"] == pytest.approx(result.goodput_mbps)
+            assert row["stack"] == "quiche"
+            assert row["kind"] == "experiment"
+            assert 0.0 <= row["b2b_share"] <= 1.0
+
+    def test_re_recording_is_idempotent(self, store, results):
+        for _ in range(3):
+            store.record_result("quiche", 0, results[0])
+        assert store.rep_count() == 1
+        fingerprint = store.content_fingerprint()
+        store.record_result("quiche", 0, results[0])
+        assert store.content_fingerprint() == fingerprint
+
+    def test_failures_round_trip_and_success_supersedes(self, store, results):
+        failure = _failure(name="quiche", seed=results[0].seed)
+        store.record_failure(failure, CONFIG)
+        assert store.failures() == [failure]
+        assert store.names() == ["quiche"]
+        # The same (config, seed) later succeeds (e.g. after --no-resume):
+        # the stale failure row must not survive next to the success.
+        store.record_result("quiche", 0, results[0])
+        assert store.failure_count() == 0
+        assert store.rep_count() == 1
+
+    def test_precision_column_filled_when_expected_log_present(self, store):
+        config = ExperimentConfig(stack="quiche", qdisc="etf", file_size=kib(96))
+        result = run_experiment(config, seed=5)
+        store.record_result("etf", 0, result)
+        (row,) = store.query()
+        if getattr(result, "expected_send_log", None):
+            assert row["precision_ns"] is not None and row["precision_ns"] >= 0.0
+        else:
+            assert row["precision_ns"] is None
+
+
+class TestSeeds:
+    def test_full_64_bit_seed_range_round_trips(self, store):
+        # derive_seed mixes into the full unsigned 64-bit range; the upper
+        # half must survive SQLite's signed INTEGER (stored two's-complement).
+        for seed in (0, 1, (1 << 63) - 1, 1 << 63, (1 << 64) - 1):
+            failure = _failure(name=f"s-{seed}", seed=seed)
+            store.record_failure(failure, CONFIG)
+            (read,) = store.failures(f"s-{seed}")
+            assert read.seed == seed
+
+    def test_large_seed_results_query_back_exactly(self, store, results):
+        from repro.framework.artifacts import rep_to_dict
+
+        raw = dict(rep_to_dict(results[0]), seed=(1 << 64) - 3)
+        store._ingest_payload(name="big", label="big", rep=0, payload=raw)
+        (row,) = store.query(name="big")
+        assert row["seed"] == (1 << 64) - 3
+        assert store.payloads("big")[0]["seed"] == (1 << 64) - 3
+
+
+class TestKeys:
+    def test_live_and_json_config_keys_agree(self, results):
+        payload_config = json.loads(json.dumps(dataclasses.asdict(results[0].config)))
+        assert per_rep_key(results[0].config) == per_rep_key_from_dict(payload_config)
+
+    def test_key_ignores_repetition_count(self):
+        grown = dataclasses.replace(CONFIG, repetitions=20)
+        assert per_rep_key(CONFIG) == per_rep_key(grown)
+
+    def test_key_distinguishes_configs(self):
+        assert per_rep_key(CONFIG) != per_rep_key(LOSSY)
+
+
+class TestQuerying:
+    @pytest.fixture
+    def populated(self, store, results):
+        for rep, result in enumerate(results):
+            store.record_result("quiche", rep, result)
+        store.record_result("lossy", 0, run_experiment(LOSSY, seed=7))
+        return store
+
+    def test_filters_restrict_rows(self, populated):
+        assert len(populated.query()) == 3
+        assert len(populated.query(stack="quiche")) == 2
+        assert len(populated.query(name="lossy")) == 1
+        assert len(populated.query(stack="quiche", qdisc="none")) == 2
+        assert populated.query(stack="msquic") == []
+
+    def test_impairment_filter_matches_slug_substring(self, populated):
+        rows = populated.query(impairment="loss")
+        assert [r["name"] for r in rows] == ["lossy"]
+        assert populated.query(impairment="reorder") == []
+
+    def test_unknown_filter_is_a_config_error(self, populated):
+        with pytest.raises(ConfigError, match="unknown filter"):
+            populated.query(stacks="quiche")
+
+    def test_aggregate_mean_and_percentiles(self, populated, results):
+        agg = populated.aggregate("goodput_mbps", stack="quiche")
+        assert agg["n"] == 2
+        values = sorted(r.goodput_mbps for r in results)
+        assert agg["mean"] == pytest.approx(sum(values) / 2)
+        assert agg["p50"] in values and agg["p99"] in values
+
+    def test_aggregate_unknown_metric_is_a_config_error(self, populated):
+        with pytest.raises(ConfigError, match="unknown metric"):
+            populated.aggregate("wall_time_s")
+
+    def test_aggregate_empty_selection(self, populated):
+        agg = populated.aggregate("goodput_mbps", stack="msquic")
+        assert agg == {"metric": "goodput_mbps", "n": 0}
+
+    def test_names_keep_first_insertion_order(self, populated):
+        assert populated.names() == ["quiche", "lossy"]
+        populated.record_failure(_failure(name="poison"), CONFIG)
+        assert populated.names() == ["quiche", "lossy", "poison"]
+
+    def test_group_summaries_pool_shares_exactly_like_the_sweep_cli(
+        self, populated, results
+    ):
+        groups = populated.group_summaries()
+        grp = groups["quiche"]
+        records = [r.server_records for r in results]
+        assert grp["reps"] == 2
+        assert grp["b2b_share"] == pytest.approx(
+            fraction_leq(pooled_gaps(records), us(15)), abs=1e-12
+        )
+        assert grp["trains_leq5_share"] == pytest.approx(
+            pooled_fraction_of_packets_in_trains_leq(records, 5), abs=1e-12
+        )
+        assert grp["failed"] == 0
+
+    def test_group_summaries_surface_all_failed_configs(self, store):
+        store.record_failure(_failure(), CONFIG)
+        groups = store.group_summaries()
+        assert groups["poison"]["reps"] == 0
+        assert groups["poison"]["failed"] == 1
+        assert groups["poison"]["goodput"] is None
+
+
+class TestVersioning:
+    def test_newer_store_is_rejected_not_misread(self, tmp_path):
+        path = tmp_path / "future.sqlite"
+        ResultStore(path).close()
+        conn = sqlite3.connect(str(path))
+        conn.execute(f"PRAGMA user_version = {STORE_VERSION + 1}")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ConfigError, match="newer"):
+            ResultStore(path)
+
+    def test_reopening_preserves_rows(self, tmp_path, results):
+        path = tmp_path / "persist.sqlite"
+        with ResultStore(path) as store:
+            store.record_result("quiche", 0, results[0])
+            fingerprint = store.content_fingerprint()
+        with ResultStore(path) as store:
+            assert store.rep_count() == 1
+            assert store.content_fingerprint() == fingerprint
+
+
+class TestExport:
+    def test_export_unknown_name_is_a_config_error(self, store):
+        with pytest.raises(ConfigError, match="no repetitions named"):
+            store.export_summary_dict("nope")
+
+    def test_export_round_trips_through_json_file(self, store, results, tmp_path):
+        for rep, result in enumerate(results):
+            store.record_result("quiche", rep, result)
+        path = store.export_summary_json("quiche", tmp_path / "out.json")
+        data = json.loads(path.read_text())
+        assert data["label"] == "quiche/cubic"
+        assert [r["seed"] for r in data["repetitions"]] == [r.seed for r in results]
+
+
+class TestMigration:
+    def test_cache_migration_reproduces_the_live_store(self, tmp_path, results):
+        cache = ResultCache(tmp_path / "cache")
+        live = ResultStore(tmp_path / "live.sqlite")
+        run_repetitions(CONFIG, workers=1, cache=cache, store=live)
+
+        migrated = ResultStore(tmp_path / "migrated.sqlite")
+        assert migrated.migrate_cache(cache.root) == 2
+        # Cache entries key by label (the per-run grid name), as does the
+        # single-config run above — content must match bit for bit.
+        assert migrated.content_fingerprint() == live.content_fingerprint()
+
+    def test_cache_migration_skips_unreadable_entries(self, tmp_path):
+        root = tmp_path / "cache"
+        (root / "ab").mkdir(parents=True)
+        (root / "ab" / "abcd.pkl").write_bytes(pickle.dumps((999, None)))
+        (root / "ab" / "torn.pkl").write_bytes(b"\x80not a pickle")
+        stream = io.StringIO()
+        store = ResultStore(tmp_path / "m.sqlite", stream=stream)
+        assert store.migrate_cache(root) == 0
+        warnings = stream.getvalue()
+        assert warnings.count("[store] warning: skipped") == 2
+
+    def test_json_artifact_migration_matches_live_recording(
+        self, tmp_path, results
+    ):
+        from repro.framework.artifacts import save_summary
+        from repro.framework.runner import summarize_results
+
+        summary = summarize_results(CONFIG, results)
+        artifact = save_summary(summary, tmp_path / "a.json")
+
+        live = ResultStore(tmp_path / "live.sqlite")
+        for rep, result in enumerate(results):
+            live.record_result(CONFIG.label, rep, result)
+
+        migrated = ResultStore(tmp_path / "migrated.sqlite")
+        assert migrated.ingest_summary_json(artifact) == 2
+        # precision_ns is the one live-only column (needs the expected-send
+        # log); this config has no pacing log, so content matches exactly.
+        assert migrated.content_fingerprint() == live.content_fingerprint()
