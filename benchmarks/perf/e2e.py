@@ -25,7 +25,19 @@ def scale_mib() -> float:
     return float(os.environ.get("REPRO_SCALE_MIB", "4"))
 
 
-def bench_e2e(scale: float | None = None, seed: int = 1, runs: int = 5) -> Dict:
+def bench_e2e(
+    scale: float | None = None,
+    seed: int = 1,
+    runs: int = 5,
+    store=None,
+    name: str = "bench/e2e",
+) -> Dict:
+    """Time the transfer; optionally record the (deterministic) result into a
+    :class:`~repro.framework.store.ResultStore` under ``name``.
+
+    Every run uses the same config and seed, and the store keys rows by
+    (config, seed), so repeated timing runs collapse to one queryable row.
+    """
     if scale is None:
         scale = scale_mib()
     cfg = ExperimentConfig(file_size=mib(scale))
@@ -36,6 +48,8 @@ def bench_e2e(scale: float | None = None, seed: int = 1, runs: int = 5) -> Dict:
         result = run_experiment(cfg, seed=seed)
         times.append(time.perf_counter() - t0)
     best = min(times)
+    if store is not None:
+        store.record_result(name, 0, result)
     return {
         "scale_mib": scale,
         "seed": seed,

@@ -40,7 +40,15 @@ def population_config(flows: int) -> PopulationConfig:
     )
 
 
-def bench_manyflow(flows: int | None = None, seed: int = 1, runs: int = 3) -> Dict:
+def bench_manyflow(
+    flows: int | None = None,
+    seed: int = 1,
+    runs: int = 3,
+    store=None,
+    name: str = "bench/manyflow",
+) -> Dict:
+    """Time the population run; optionally record the (deterministic) result
+    into a :class:`~repro.framework.store.ResultStore` under ``name``."""
     if flows is None:
         flows = flow_count()
     cfg = population_config(flows)
@@ -51,6 +59,8 @@ def bench_manyflow(flows: int | None = None, seed: int = 1, runs: int = 3) -> Di
         result = run_population(cfg, seed=seed)
         times.append(time.perf_counter() - t0)
     best = min(times)
+    if store is not None:
+        store.record_result(name, 0, result)
     return {
         "flows": flows,
         "seed": seed,

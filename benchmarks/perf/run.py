@@ -10,6 +10,11 @@ wall-clock at the current ``REPRO_FLOWS``, the execution-backend overhead
 comparison (forkserver vs spawn per-repetition cost), and — when the
 committed baseline records a pre-overhaul time for that scale — the speedup
 over the pre-PR engine.
+
+The timed repetitions are real, deterministic experiment results, so they
+are also streamed into a :class:`~repro.framework.store.ResultStore`
+(``--store``, on by default) and can be inspected afterwards with
+``repro query`` / ``repro report`` like any campaign's rows.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from benchmarks.perf.backend import bench_backends
 from benchmarks.perf.e2e import bench_e2e, scale_mib
 from benchmarks.perf.manyflow import bench_manyflow, flow_count
 from benchmarks.perf.microbench import run_all
+from repro.framework.store import ResultStore
 
 BASELINE_PATH = Path(__file__).parent / "baseline.json"
 
@@ -44,7 +50,13 @@ def main(argv: list[str] | None = None) -> int:
         "--backend-runs", type=int, default=3,
         help="repetitions of the backend-overhead sweep (0 skips the section)",
     )
+    parser.add_argument(
+        "--store", default="perf-session.sqlite",
+        help="stream the benchmark repetitions into this SQLite result store, "
+        "queryable with `repro query`/`repro report` ('' disables)",
+    )
     args = parser.parse_args(argv)
+    store = ResultStore(args.store) if args.store else None
 
     print(f"perf: microbenchmarks (best of {args.repeats}) ...")
     micro = run_all(repeats=args.repeats)
@@ -53,7 +65,7 @@ def main(argv: list[str] | None = None) -> int:
 
     scale = scale_mib()
     print(f"perf: end-to-end transfer at {scale:g} MiB (best of {args.runs}) ...")
-    e2e = bench_e2e(runs=args.runs)
+    e2e = bench_e2e(runs=args.runs, store=store)
     print(
         f"  wall {e2e['wall_s']:.3f}s  "
         f"{e2e['events_per_sec']:,.0f} events/s  "
@@ -62,7 +74,7 @@ def main(argv: list[str] | None = None) -> int:
 
     flows = flow_count()
     print(f"perf: many-flow population at {flows} flows (best of {args.flow_runs}) ...")
-    manyflow = bench_manyflow(runs=args.flow_runs)
+    manyflow = bench_manyflow(runs=args.flow_runs, store=store)
     print(
         f"  wall {manyflow['wall_s']:.3f}s  "
         f"{manyflow['events_per_sec']:,.0f} events/s  "
@@ -76,6 +88,15 @@ def main(argv: list[str] | None = None) -> int:
         "e2e": e2e,
         "manyflow": manyflow,
     }
+
+    if store is not None:
+        payload["store"] = {
+            "path": args.store,
+            "reps": store.rep_count(),
+            "fingerprint": store.content_fingerprint(),
+        }
+        print(f"perf: recorded {store.rep_count()} rep(s) into {args.store}")
+        store.close()
 
     if args.backend_runs > 0:
         print(f"perf: backend overhead sweep (best of {args.backend_runs}) ...")

@@ -151,9 +151,21 @@ def _add_exec(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend", default="pool", choices=BACKENDS,
         help="execution backend: inprocess (serial), pool (supervised process "
-        "pool, platform default start method), spawn, or forkserver "
-        "(simulator-preloaded workers). Results are bit-identical across "
-        "backends (default: pool)",
+        "pool, platform default start method), spawn, forkserver "
+        "(simulator-preloaded workers), or distributed (multi-host worker "
+        "agents; see --hosts). Results are bit-identical across backends "
+        "(default: pool)",
+    )
+    parser.add_argument(
+        "--hosts", metavar="HOST[:SLOTS],...", default=None,
+        help="worker hosts for the distributed backend (localhost spawns "
+        "local agents; other names are reached over ssh). Giving --hosts "
+        "selects --backend distributed automatically",
+    )
+    parser.add_argument(
+        "--hosts-file", metavar="PATH", default=None,
+        help="file with one HOST[:SLOTS] per line (# comments allowed); "
+        "merged with --hosts",
     )
     parser.add_argument(
         "--store", metavar="PATH", default=None,
@@ -176,6 +188,34 @@ def _make_store(args: argparse.Namespace) -> Optional[ResultStore]:
 
 def _make_policy(args: argparse.Namespace) -> SupervisionPolicy:
     return SupervisionPolicy(timeout_s=args.timeout, retries=args.retries)
+
+
+def _resolve_backend(args: argparse.Namespace):
+    """Combine --backend/--hosts/--hosts-file into a backend selection.
+
+    Host lists only make sense distributed, so giving one upgrades the
+    default backend automatically; naming a *different* local backend at
+    the same time is a contradiction and fails as an operator error.
+    """
+    hosts = ()
+    if getattr(args, "hosts", None):
+        from repro.framework.remote import parse_hosts
+
+        hosts += parse_hosts(args.hosts)
+    if getattr(args, "hosts_file", None):
+        from repro.framework.remote import load_hosts_file
+
+        hosts += load_hosts_file(args.hosts_file)
+    backend = args.backend
+    if hosts and backend not in ("pool", "distributed"):
+        raise ConfigError(
+            f"--hosts/--hosts-file need --backend distributed, not {backend!r}"
+        )
+    if backend == "distributed" or hosts:
+        from repro.framework.executors import DistributedExecutor
+
+        return DistributedExecutor(hosts=hosts or ("localhost",), stream=sys.stderr)
+    return backend
 
 
 def _journal_dir(cache: Optional[ResultCache]) -> Optional[str]:
@@ -223,7 +263,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         policy=_make_policy(args),
         journal_dir=_journal_dir(cache),
         resume=args.resume,
-        backend=args.backend,
+        backend=_resolve_backend(args),
         store=_make_store(args),
     )
     print(summary.describe())
@@ -311,7 +351,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         policy=_make_policy(args),
         journal_dir=_journal_dir(cache),
         resume=args.resume,
-        backend=args.backend,
+        backend=_resolve_backend(args),
         store=_make_store(args),
     )
     summaries = runner.run(grid)
@@ -397,7 +437,7 @@ def _cmd_population(args: argparse.Namespace) -> int:
         policy=_make_policy(args),
         journal_dir=_journal_dir(cache),
         resume=args.resume,
-        backend=args.backend,
+        backend=_resolve_backend(args),
         store=_make_store(args),
     )
     summaries = runner.run({config.label: config})

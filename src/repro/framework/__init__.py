@@ -8,6 +8,7 @@ from repro.framework.cache import CACHE_VERSION, CacheStats, ResultCache, defaul
 from repro.framework.config import ExperimentConfig, NetworkConfig
 from repro.framework.executors import (
     BACKENDS,
+    DistributedExecutor,
     Executor,
     ForkServerExecutor,
     InProcessExecutor,
@@ -27,6 +28,7 @@ __all__ = [
     "BACKENDS",
     "CACHE_VERSION",
     "CacheStats",
+    "DistributedExecutor",
     "Executor",
     "ExperimentConfig",
     "ForkServerExecutor",

@@ -37,6 +37,14 @@ Backends
     otherwise re-pays on every pool restart (watchdog kills, crash
     recovery) and every short-lived campaign shard.
 
+``distributed``
+    A lease-dispatching :class:`~repro.framework.remote.Coordinator` over
+    long-lived worker agents on one or more hosts (SSH-launched, or local
+    subprocesses for ``localhost``). Pool-compatible, so the Supervisor's
+    retry/timeout/quarantine loop runs unchanged; host failures (crashes,
+    hangs, partitions) are absorbed *below* the pool surface by lease
+    reclaim + agent relaunch and charged to the host, never the config.
+
 Selection is an *execution* concern, deliberately independent of
 ``ExperimentConfig``: the backend participates in no ``cache_key()``, no
 journal ``grid_key()``, and no result ``fingerprint()``, so the same grid is
@@ -54,6 +62,7 @@ from repro.errors import ConfigError
 
 __all__ = [
     "BACKENDS",
+    "DistributedExecutor",
     "Executor",
     "ForkServerExecutor",
     "InProcessExecutor",
@@ -85,6 +94,9 @@ class Executor:
     name: str = "abstract"
     #: True for backends that run repetitions in the calling process.
     serial: bool = False
+    #: True for backends whose "pool" spans machines; the Supervisor never
+    #: collapses these to the serial in-process path, even for one task.
+    distributed: bool = False
 
     def make_pool(self, workers: int) -> ProcessPoolExecutor:
         raise NotImplementedError(f"{self.name!r} backend does not pool")
@@ -146,14 +158,69 @@ class ForkServerExecutor(Executor):
         return ProcessPoolExecutor(max_workers=workers, mp_context=self._context)
 
 
+class DistributedExecutor(Executor):
+    """Multi-host coordinator backend (``repro.framework.remote``).
+
+    ``make_pool`` starts a fresh :class:`~repro.framework.remote.Coordinator`
+    (listening socket + agent launches) — called up front and again on every
+    supervision restart, exactly like local pool construction. The most
+    recent coordinator is kept on :attr:`last_coordinator` so callers and
+    tests can read per-host accounting after a campaign.
+
+    Default tuning is campaign-scale (5-minute leases, half-second
+    heartbeats); the chaos suite passes much tighter knobs.
+    """
+
+    name = "distributed"
+    distributed = True
+
+    def __init__(
+        self,
+        hosts=("localhost",),
+        *,
+        stream=None,
+        **coordinator_kwargs,
+    ):
+        from repro.framework.remote import merge_hosts
+
+        if isinstance(hosts, str):
+            from repro.framework.remote import parse_hosts
+
+            hosts = parse_hosts(hosts)
+        self.hosts = merge_hosts(hosts)
+        if not self.hosts:
+            raise ConfigError("distributed backend needs at least one host")
+        self.stream = stream
+        self.coordinator_kwargs = dict(coordinator_kwargs)
+        self.last_coordinator = None
+
+    def make_pool(self, workers: int):
+        from repro.framework.remote import Coordinator
+
+        coordinator = Coordinator(
+            self.hosts, stream=self.stream, **self.coordinator_kwargs
+        )
+        coordinator.start()
+        self.last_coordinator = coordinator
+        return coordinator
+
+    def __repr__(self) -> str:
+        specs = ",".join(
+            f"{spec.host}:{spec.slots}" if spec.slots != 1 else spec.host
+            for spec in self.hosts
+        )
+        return f"DistributedExecutor({specs})"
+
+
 #: Backend registry, in documentation order.
-BACKENDS: Tuple[str, ...] = ("inprocess", "pool", "spawn", "forkserver")
+BACKENDS: Tuple[str, ...] = ("inprocess", "pool", "spawn", "forkserver", "distributed")
 
 _FACTORIES = {
     InProcessExecutor.name: InProcessExecutor,
     PoolExecutor.name: PoolExecutor,
     SpawnExecutor.name: SpawnExecutor,
     ForkServerExecutor.name: ForkServerExecutor,
+    DistributedExecutor.name: DistributedExecutor,
 }
 
 

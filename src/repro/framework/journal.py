@@ -28,6 +28,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -87,13 +88,16 @@ class JournalEntry:
 class SweepJournal:
     """Atomic JSONL manifest of settled repetitions for one grid."""
 
-    def __init__(self, path: Union[str, Path], key: str):
+    def __init__(self, path: Union[str, Path], key: str, stream=None):
         self.path = Path(path)
         self.key = key
+        self.stream = stream
         self._entries: Dict[Tuple[str, int], JournalEntry] = {}
         #: Entries present when the journal was opened (resume candidates),
         #: as opposed to ones recorded by the current run.
         self.resumed_entries = 0
+        #: Torn/undecodable lines skipped while loading (those reps re-run).
+        self.skipped_lines = 0
 
     @classmethod
     def for_grid(
@@ -101,10 +105,11 @@ class SweepJournal:
         directory: Union[str, Path],
         grid: Mapping[str, ExperimentConfig],
         fresh: bool = False,
+        stream=None,
     ) -> "SweepJournal":
         """Open (or start) the journal for ``grid`` under ``directory``."""
         key = grid_key(grid)
-        journal = cls(Path(directory) / f"{key[:16]}.jsonl", key)
+        journal = cls(Path(directory) / f"{key[:16]}.jsonl", key, stream=stream)
         if fresh:
             journal._discard()
         else:
@@ -136,12 +141,24 @@ class SweepJournal:
             # predates a format change): start over rather than misapply it.
             return
         for line in lines[1:]:
+            if not line.strip():
+                continue
             try:
                 entry = JournalEntry.from_dict(json.loads(line))
             except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                self.skipped_lines += 1
                 continue  # torn tail line: the rep simply re-runs
             self._entries[(entry.name, entry.rep)] = entry
         self.resumed_entries = len(self._entries)
+        if self.skipped_lines:
+            # A SIGKILL mid-append can tear the final line; resume must
+            # survive that, losing only the torn repetition(s).
+            print(
+                f"[journal] warning: skipped {self.skipped_lines} torn/undecodable "
+                f"line(s) in {self.path}; the affected repetition(s) will re-run",
+                file=self.stream if self.stream is not None else sys.stderr,
+                flush=True,
+            )
 
     def _flush(self) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,1158 @@
+"""Fault-tolerant distributed sweep execution: coordinator + worker agents.
+
+The paper's campaigns are grids at thousands of repetitions; the slowest
+scenarios (fast-Internet regimes, large flow populations) want more than one
+machine. This module adds that without changing a single campaign semantic:
+a :class:`Coordinator` speaks the same ``submit``/``shutdown`` surface as a
+``ProcessPoolExecutor``, so the :class:`~repro.framework.supervision.Supervisor`
+keeps owning retries, timeouts, quarantine and crash attribution, and the
+sweep/journal/cache/store layers cannot tell a cluster from a local pool.
+Cache keys, journal grid keys, and result fingerprints stay backend-free —
+the invariant the differential suite pins — so a distributed campaign's
+store ``content_fingerprint()`` is bit-identical to an in-process run.
+
+Wire protocol
+-------------
+
+Frames are length-prefixed JSON over TCP: a 4-byte big-endian unsigned
+length followed by that many bytes of UTF-8 JSON. Python objects (configs,
+results) ride inside frames as ``base64(zlib(pickle))`` strings so the JSON
+layer stays printable and loggable. Frame types:
+
+===========  =========  ====================================================
+type         direction  meaning
+===========  =========  ====================================================
+hello        a -> c     agent announces ``agent`` id, ``host``, ``pid``
+heartbeat    a -> c     liveness beacon, every ``heartbeat_interval_s``
+lease        c -> a     one repetition: lease id, run_fn name, config, seed
+result       a -> c     settled repetition payload for a lease
+failure      a -> c     exception type/message/traceback for a lease
+shutdown     c -> a     campaign over; agent exits cleanly
+===========  =========  ====================================================
+
+Lease lifecycle
+---------------
+
+Every repetition submitted to the coordinator becomes a *task*; a task is
+dispatched to an idle agent as a *lease* with a deadline. A lease dies with
+its agent (socket EOF, heartbeat-budget exhaustion, deadline expiry) and
+its task is *reclaimed*: re-queued and re-dispatched with the same derived
+seed, so recovery is bit-identical. Near the end of a campaign an idle
+agent may be granted a *straggler duplicate* of a long-running lease — the
+first result wins and the loser is discarded idempotently (the store keys
+rows by ``(config-hash, seed)``, so even a late double-write is a no-op).
+
+Failure domains are kept apart deliberately: an agent/host death charges
+the **host** (exponential-backoff relaunch, quarantine after
+``max_host_failures``), never the configuration; an exception raised *by
+the repetition* is sent back as a ``failure`` frame and charged to the
+config through the Supervisor's ordinary retry/quarantine machinery. When
+every configured host is quarantined the campaign fails fast with
+:class:`~repro.errors.HostLostError` records carrying per-host attribution.
+
+Agents are long-lived: ``python -m repro.framework.remote agent`` connects
+back to the coordinator, executes one lease at a time (the simulator keeps
+process-global id counters, so one process must never interleave two
+repetitions), heartbeats from a side thread, and reconnects with
+exponential backoff when the coordinator vanishes — holding any unsent
+result and re-delivering it after the reconnect.
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import builtins
+import itertools
+import json
+import os
+import pickle
+import shlex
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+import zlib
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigError, HostLostError, ProtocolError, RemoteRepError
+
+__all__ = [
+    "Coordinator",
+    "HostSpec",
+    "MAX_FRAME_BYTES",
+    "agent_main",
+    "callable_name",
+    "decode_obj",
+    "drop_connection",
+    "encode_obj",
+    "load_hosts_file",
+    "parse_host_spec",
+    "parse_hosts",
+    "recv_frame",
+    "resolve_callable",
+    "send_frame",
+    "stop_heartbeats",
+]
+
+# -- frame layer -----------------------------------------------------------
+
+_HEADER = struct.Struct(">I")
+
+#: Hard ceiling on one frame. Generous — a 100 MiB-transfer result's
+#: columnar capture is a few MB pickled — but it turns a corrupt or
+#: malicious length prefix into a clean ProtocolError instead of an
+#: attempted multi-GiB allocation.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def send_frame(sock: socket.socket, obj: dict) -> None:
+    """Write one length-prefixed JSON frame."""
+    data = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(data)} bytes exceeds MAX_FRAME_BYTES")
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            return None
+        buf += chunk
+    return bytes(buf)
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """Read one frame; ``None`` on a clean or mid-frame EOF."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"peer announced a {length}-byte frame; refusing")
+    body = _recv_exact(sock, length)
+    if body is None:
+        return None
+    frame = json.loads(body.decode("utf-8"))
+    if not isinstance(frame, dict):
+        raise ProtocolError("frame body must be a JSON object")
+    return frame
+
+
+def encode_obj(obj: Any) -> str:
+    """Pickle an object into a printable frame field."""
+    return base64.b64encode(
+        zlib.compress(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL), 1)
+    ).decode("ascii")
+
+
+def decode_obj(blob: str) -> Any:
+    return pickle.loads(zlib.decompress(base64.b64decode(blob.encode("ascii"))))
+
+
+def callable_name(fn: Callable) -> str:
+    """``module:qualname`` of an importable function.
+
+    The run function crosses process *and host* boundaries by name, not by
+    pickle, so agents import their own copy of the code. Lambdas and
+    closures have no importable name and are rejected up front.
+    """
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname or "<" in qualname:
+        raise ConfigError(
+            f"distributed run_fn must be an importable module-level function, "
+            f"got {fn!r}"
+        )
+    return f"{module}:{qualname}"
+
+
+def resolve_callable(name: str) -> Callable:
+    module_name, _, qualname = name.partition(":")
+    if not module_name or not qualname:
+        raise ProtocolError(f"malformed callable name {name!r}")
+    import importlib
+
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    if not callable(obj):
+        raise ProtocolError(f"{name!r} resolved to a non-callable {obj!r}")
+    return obj
+
+
+# -- host specifications ---------------------------------------------------
+
+_LOCAL_HOSTNAMES = {"localhost", "127.0.0.1", "::1"}
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One worker host: ``host[:slots]`` — ``slots`` agent processes."""
+
+    host: str
+    slots: int = 1
+    #: Python executable used to start agents on this host.
+    python: str = "python3"
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ConfigError("host name must be non-empty")
+        if self.slots < 1:
+            raise ConfigError(f"host {self.host!r} needs at least one slot")
+
+    @property
+    def local(self) -> bool:
+        return self.host in _LOCAL_HOSTNAMES
+
+
+def parse_host_spec(text: str) -> HostSpec:
+    text = text.strip()
+    host, sep, slots = text.partition(":")
+    if not sep:
+        return HostSpec(host=host)
+    try:
+        count = int(slots)
+    except ValueError:
+        raise ConfigError(f"bad host spec {text!r}: slots must be an integer")
+    return HostSpec(host=host, slots=count)
+
+
+def parse_hosts(text: str) -> Tuple[HostSpec, ...]:
+    """Parse a comma-separated ``host[:slots]`` list, merging duplicates."""
+    specs = [parse_host_spec(part) for part in text.split(",") if part.strip()]
+    if not specs:
+        raise ConfigError(f"no hosts in {text!r}")
+    return merge_hosts(specs)
+
+
+def load_hosts_file(path: Union[str, Path]) -> Tuple[HostSpec, ...]:
+    """One ``host[:slots]`` per line; blank lines and ``#`` comments skipped."""
+    specs: List[HostSpec] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            specs.append(parse_host_spec(line))
+    if not specs:
+        raise ConfigError(f"hosts file {path} names no hosts")
+    return merge_hosts(specs)
+
+
+def merge_hosts(specs: Iterable[Union[str, HostSpec]]) -> Tuple[HostSpec, ...]:
+    """Normalize to HostSpecs, summing slots of duplicate host names."""
+    merged: Dict[str, HostSpec] = {}
+    for spec in specs:
+        if isinstance(spec, str):
+            spec = parse_host_spec(spec)
+        prior = merged.get(spec.host)
+        if prior is not None:
+            spec = HostSpec(host=spec.host, slots=prior.slots + spec.slots, python=prior.python)
+        merged[spec.host] = spec
+    return tuple(merged.values())
+
+
+# -- coordinator internals -------------------------------------------------
+
+
+@dataclass
+class _Task:
+    """One submitted repetition, settled by exactly one future resolution."""
+
+    task_id: int
+    fn_name: str
+    config_blob: str
+    seed: int
+    future: Future
+    queued: bool = False
+    done: bool = False
+    lease_ids: set = field(default_factory=set)
+    #: Last host a lease for this task ran on (failure attribution).
+    last_host: Optional[str] = None
+
+
+@dataclass
+class _Lease:
+    lease_id: int
+    task_id: int
+    agent_id: str
+    host: str
+    started: float
+    deadline: float
+    #: True once the owning agent was lost; the task has been re-queued but
+    #: the lease stays known so a late result from a reconnecting agent can
+    #: still settle (or be discarded) idempotently.
+    reclaimed: bool = False
+
+
+@dataclass
+class _Agent:
+    agent_id: str
+    host: str
+    sock: socket.socket
+    last_seen: float
+    pid: Optional[int] = None
+    lease_ids: set = field(default_factory=set)
+
+
+@dataclass
+class _Host:
+    spec: HostSpec
+    #: Monotonically increasing launch counter (names agents host/<n>).
+    launch_seq: int = 0
+    failures: int = 0
+    quarantined: bool = False
+    last_error: str = ""
+    next_launch_at: float = 0.0
+    reps_done: int = 0
+
+
+@dataclass
+class _Launch:
+    """An agent process started but not yet connected back."""
+
+    agent_id: str
+    host: str
+    deadline: float
+
+
+@dataclass
+class _Ghost:
+    """A disconnected agent within its reconnect grace window."""
+
+    agent_id: str
+    host: str
+    until: float
+
+
+@dataclass
+class CoordinatorStats:
+    submitted: int = 0
+    settled: int = 0
+    rep_failures: int = 0
+    dispatched: int = 0
+    reclaimed: int = 0
+    stragglers: int = 0
+    duplicates_discarded: int = 0
+
+
+class Coordinator:
+    """Lease-dispatching campaign coordinator, pool-compatible.
+
+    Implements the slice of the ``ProcessPoolExecutor`` surface the
+    Supervisor uses — ``submit(fn, config, seed) -> Future`` and
+    ``shutdown(wait, cancel_futures)`` — so the supervision loop (bounded
+    in-flight work, retries, watchdog, quarantine) runs unchanged on top.
+
+    ``hosts`` may be empty, in which case the coordinator launches nothing
+    and waits for externally started agents to connect (tests do this); an
+    empty-host coordinator never declares the campaign host-dead.
+    """
+
+    def __init__(
+        self,
+        hosts: Sequence[Union[str, HostSpec]] = (),
+        *,
+        stream=None,
+        bind_host: str = "127.0.0.1",
+        advertise_host: Optional[str] = None,
+        lease_timeout_s: float = 300.0,
+        heartbeat_interval_s: float = 0.5,
+        heartbeat_misses: int = 5,
+        relaunch_backoff_s: float = 0.5,
+        relaunch_backoff_max_s: float = 15.0,
+        max_host_failures: int = 5,
+        connect_timeout_s: float = 30.0,
+        reconnect_grace_s: float = 2.0,
+        straggler_after_s: Optional[float] = None,
+        poll_interval_s: float = 0.05,
+        max_leases_per_task: int = 2,
+        python: Optional[str] = None,
+    ):
+        self._specs = merge_hosts(hosts)
+        self.stream = stream
+        self.bind_host = bind_host
+        self.advertise_host = advertise_host
+        self.lease_timeout_s = lease_timeout_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_misses = heartbeat_misses
+        self.relaunch_backoff_s = relaunch_backoff_s
+        self.relaunch_backoff_max_s = relaunch_backoff_max_s
+        self.max_host_failures = max_host_failures
+        self.connect_timeout_s = connect_timeout_s
+        self.reconnect_grace_s = reconnect_grace_s
+        self.straggler_after_s = (
+            straggler_after_s if straggler_after_s is not None else lease_timeout_s / 4
+        )
+        self.poll_interval_s = poll_interval_s
+        self.max_leases_per_task = max_leases_per_task
+        self.python = python
+
+        self._lock = threading.RLock()
+        self._tasks: Dict[int, _Task] = {}
+        self._queue: deque = deque()
+        self._leases: Dict[int, _Lease] = {}
+        self._agents: Dict[str, _Agent] = {}
+        self._hosts: Dict[str, _Host] = {spec.host: _Host(spec=spec) for spec in self._specs}
+        self._launches: Dict[str, _Launch] = {}
+        self._ghosts: Dict[str, _Ghost] = {}
+        self._procs: Dict[str, subprocess.Popen] = {}
+        self._task_seq = itertools.count()
+        self._lease_seq = itertools.count()
+        self._closing = False
+        self._dead = False
+        self._dead_reason = ""
+        self._listener: Optional[socket.socket] = None
+        self.port: Optional[int] = None
+        self.stats = CoordinatorStats()
+        self._threads: List[threading.Thread] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "Coordinator":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.bind_host, 0))
+        listener.listen(128)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        if self.advertise_host is None:
+            if all(spec.local for spec in self._specs):
+                self.advertise_host = "127.0.0.1"
+            else:
+                self.advertise_host = socket.gethostname()
+        for target, label in (
+            (self._accept_loop, "remote-accept"),
+            (self._monitor_loop, "remote-monitor"),
+        ):
+            thread = threading.Thread(target=target, name=label, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        with self._lock:
+            self._launch_deficit_locked(time.monotonic())
+        return self
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            agents = list(self._agents.values())
+            procs = dict(self._procs)
+            unsettled = [t for t in self._tasks.values() if not t.done]
+            self._queue.clear()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        for agent in agents:
+            try:
+                send_frame(agent.sock, {"type": "shutdown"})
+            except OSError:
+                pass
+            try:
+                agent.sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        if cancel_futures:
+            for task in unsettled:
+                task.future.cancel()
+        for proc in procs.values():
+            if proc.poll() is None:
+                proc.terminate()
+        if wait:
+            deadline = time.monotonic() + 2.0
+            for proc in procs.values():
+                remaining = deadline - time.monotonic()
+                try:
+                    proc.wait(timeout=max(remaining, 0.05))
+                except subprocess.TimeoutExpired:
+                    pass
+        for proc in procs.values():
+            if proc.poll() is None:
+                proc.kill()
+
+    # -- pool-compatible surface ------------------------------------------
+
+    def submit(self, fn: Callable, config: Any, seed: int) -> Future:
+        future: Future = Future()
+        fn_name = callable_name(fn)
+        blob = encode_obj(config)
+        with self._lock:
+            if self._closing or self._dead:
+                reason = self._dead_reason or "coordinator is shut down"
+                exc = HostLostError(reason)
+                exc.host = ",".join(self._hosts) or None
+                future.set_exception(exc)
+                return future
+            task = _Task(
+                task_id=next(self._task_seq),
+                fn_name=fn_name,
+                config_blob=blob,
+                seed=seed,
+                future=future,
+            )
+            self._tasks[task.task_id] = task
+            self.stats.submitted += 1
+            self._enqueue_locked(task)
+            self._dispatch_locked()
+        return future
+
+    # -- accept / per-connection serving ----------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve_connection, args=(sock,), daemon=True
+            ).start()
+
+    def _serve_connection(self, sock: socket.socket) -> None:
+        try:
+            hello = recv_frame(sock)
+        except (OSError, ProtocolError, ValueError):
+            hello = None
+        if not hello or hello.get("type") != "hello" or not hello.get("agent"):
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            return
+        agent_id = str(hello["agent"])
+        host = str(hello.get("host") or agent_id.split("/", 1)[0])
+        agent = _Agent(
+            agent_id=agent_id,
+            host=host,
+            sock=sock,
+            last_seen=time.monotonic(),
+            pid=hello.get("pid"),
+        )
+        with self._lock:
+            if self._closing:
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+                return
+            self._launches.pop(agent_id, None)
+            reconnect = self._ghosts.pop(agent_id, None) is not None
+            stale = self._agents.get(agent_id)
+            if stale is not None:
+                try:
+                    stale.sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+            self._agents[agent_id] = agent
+            self._emit(
+                f"[remote] agent {agent_id} "
+                f"{'reconnected' if reconnect else 'connected'} (pid {agent.pid})"
+            )
+            self._dispatch_locked()
+        while True:
+            try:
+                frame = recv_frame(sock)
+            except (OSError, ProtocolError, ValueError):
+                frame = None
+            if frame is None:
+                break
+            kind = frame.get("type")
+            with self._lock:
+                if self._agents.get(agent_id) is agent:
+                    agent.last_seen = time.monotonic()
+            if kind == "heartbeat":
+                continue
+            if kind == "result":
+                try:
+                    value = decode_obj(frame["payload"])
+                except Exception as exc:  # corrupt payload: charge the rep
+                    err = RemoteRepError(f"undecodable result payload: {exc}")
+                    self._settle(frame.get("lease"), error=err)
+                else:
+                    self._settle(frame.get("lease"), value=value)
+            elif kind == "failure":
+                self._settle(frame.get("lease"), error=self._rebuild_exception(frame))
+        with self._lock:
+            if self._agents.get(agent_id) is agent and not self._closing:
+                self._lose_agent_locked(agent, "connection lost")
+
+    # -- settling ----------------------------------------------------------
+
+    def _settle(self, lease_id, *, value: Any = None, error: Optional[Exception] = None) -> None:
+        future = None
+        with self._lock:
+            lease = self._leases.pop(lease_id, None) if lease_id is not None else None
+            if lease is not None:
+                agent = self._agents.get(lease.agent_id)
+                if agent is not None:
+                    agent.lease_ids.discard(lease_id)
+            task = self._tasks.get(lease.task_id) if lease is not None else None
+            if lease is None or task is None or task.done:
+                # Straggler loser, post-reclaim duplicate, or a frame for a
+                # task settled on another lease — drop idempotently.
+                self.stats.duplicates_discarded += 1
+                self._dispatch_locked()
+                return
+            task.done = True
+            for other in task.lease_ids:
+                self._leases.pop(other, None)
+            task.lease_ids.clear()
+            del self._tasks[task.task_id]
+            future = task.future
+            host = self._hosts.get(lease.host)
+            if error is None:
+                self.stats.settled += 1
+                if host is not None:
+                    host.reps_done += 1
+                self._emit(
+                    f"[remote] {lease.host}: rep settled "
+                    f"({self.stats.settled}/{self.stats.submitted} done)"
+                )
+            else:
+                self.stats.rep_failures += 1
+                if getattr(error, "host", None) is None:
+                    error.host = lease.host
+            self._dispatch_locked()
+        if error is None:
+            future.set_result(value)
+        else:
+            future.set_exception(error)
+
+    def _rebuild_exception(self, frame: dict) -> Exception:
+        """Reconstruct a remote exception; fall back to RemoteRepError.
+
+        Builtin exception types and the repro hierarchy round-trip by name;
+        anything else (third-party types, unconstructible signatures) is
+        wrapped so the Supervisor's retry logic still sees a typed error.
+        """
+        name = str(frame.get("error_type") or "RemoteRepError")
+        message = str(frame.get("message") or "")
+        import repro.errors as errors_module
+
+        cls = getattr(builtins, name, None)
+        if not (isinstance(cls, type) and issubclass(cls, Exception)):
+            cls = getattr(errors_module, name, None)
+        if not (isinstance(cls, type) and issubclass(cls, Exception)):
+            cls = None
+        exc: Exception
+        if cls is None:
+            exc = RemoteRepError(f"{name}: {message}")
+        else:
+            try:
+                exc = cls(message)
+            except Exception:  # pragma: no cover - exotic __init__
+                exc = RemoteRepError(f"{name}: {message}")
+        exc.remote_traceback = frame.get("traceback") or ""
+        return exc
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _enqueue_locked(self, task: _Task) -> None:
+        if not task.queued and not task.done:
+            task.queued = True
+            self._queue.append(task.task_id)
+
+    def _free_agent_locked(self) -> Optional[_Agent]:
+        # One lease per agent process: the simulator's id counters are
+        # process-global, so an agent never interleaves repetitions.
+        for agent in self._agents.values():
+            if not agent.lease_ids:
+                return agent
+        return None
+
+    def _dispatch_locked(self) -> None:
+        if self._closing:
+            return
+        while True:
+            agent = self._free_agent_locked()
+            if agent is None:
+                return
+            task = None
+            while self._queue:
+                candidate = self._tasks.get(self._queue.popleft())
+                if candidate is None or candidate.done:
+                    continue
+                candidate.queued = False
+                if self._live_leases_locked(candidate):
+                    continue  # already back in flight elsewhere
+                task = candidate
+                break
+            if task is None:
+                return
+            self._grant_locked(agent, task)
+
+    def _live_leases_locked(self, task: _Task) -> List[_Lease]:
+        return [
+            self._leases[lid]
+            for lid in task.lease_ids
+            if lid in self._leases and not self._leases[lid].reclaimed
+        ]
+
+    def _grant_locked(self, agent: _Agent, task: _Task, straggler: bool = False) -> bool:
+        now = time.monotonic()
+        lease = _Lease(
+            lease_id=next(self._lease_seq),
+            task_id=task.task_id,
+            agent_id=agent.agent_id,
+            host=agent.host,
+            started=now,
+            deadline=now + self.lease_timeout_s,
+        )
+        frame = {
+            "type": "lease",
+            "lease": lease.lease_id,
+            "run_fn": task.fn_name,
+            "config": task.config_blob,
+            "seed": task.seed,
+        }
+        try:
+            send_frame(agent.sock, frame)
+        except OSError:
+            self._lose_agent_locked(agent, "send failed")
+            self._enqueue_locked(task)
+            return False
+        self._leases[lease.lease_id] = lease
+        agent.lease_ids.add(lease.lease_id)
+        task.lease_ids.add(lease.lease_id)
+        task.last_host = agent.host
+        self.stats.dispatched += 1
+        if straggler:
+            self.stats.stragglers += 1
+            self._emit(
+                f"[remote] straggler: duplicated lease for seed {task.seed} "
+                f"onto {agent.agent_id} (first result wins)"
+            )
+        return True
+
+    # -- failure handling --------------------------------------------------
+
+    def _lose_agent_locked(self, agent: _Agent, reason: str) -> None:
+        """Reclaim an agent's leases and charge its *host*, not any config."""
+        if self._agents.get(agent.agent_id) is agent:
+            del self._agents[agent.agent_id]
+        try:
+            agent.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        now = time.monotonic()
+        self._ghosts[agent.agent_id] = _Ghost(
+            agent_id=agent.agent_id, host=agent.host, until=now + self.reconnect_grace_s
+        )
+        for lease_id in list(agent.lease_ids):
+            lease = self._leases.get(lease_id)
+            if lease is None or lease.reclaimed:
+                continue
+            lease.reclaimed = True
+            task = self._tasks.get(lease.task_id)
+            if task is not None and not task.done and not self._live_leases_locked(task):
+                self.stats.reclaimed += 1
+                self._enqueue_locked(task)
+        self._emit(f"[remote] agent {agent.agent_id} lost ({reason}); leases reclaimed")
+        self._host_failure_locked(agent.host, reason)
+        self._dispatch_locked()
+
+    def _host_failure_locked(self, hostname: str, reason: str) -> None:
+        host = self._hosts.get(hostname)
+        if host is None or self._closing:
+            return  # externally managed agent: nothing to relaunch
+        host.failures += 1
+        host.last_error = reason
+        if host.failures >= self.max_host_failures:
+            if not host.quarantined:
+                host.quarantined = True
+                self._emit(
+                    f"[remote] host {hostname} quarantined after "
+                    f"{host.failures} failure(s): {reason}"
+                )
+            return
+        delay = min(
+            self.relaunch_backoff_max_s,
+            self.relaunch_backoff_s * 2 ** (host.failures - 1),
+        )
+        host.next_launch_at = max(host.next_launch_at, time.monotonic() + delay)
+        self._emit(f"[remote] host {hostname}: relaunching agent in {delay:.1f}s")
+
+    # -- monitor loop ------------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        while True:
+            time.sleep(self.poll_interval_s)
+            with self._lock:
+                if self._closing:
+                    return
+                now = time.monotonic()
+                self._check_heartbeats_locked(now)
+                self._check_leases_locked(now)
+                self._check_launches_locked(now)
+                self._purge_ghosts_locked(now)
+                self._launch_deficit_locked(now)
+                self._duplicate_stragglers_locked(now)
+                self._check_all_hosts_dead_locked()
+                self._dispatch_locked()
+
+    def _check_heartbeats_locked(self, now: float) -> None:
+        budget = self.heartbeat_interval_s * self.heartbeat_misses
+        for agent in list(self._agents.values()):
+            if now - agent.last_seen > budget:
+                self._lose_agent_locked(
+                    agent, f"missed {self.heartbeat_misses} heartbeats"
+                )
+
+    def _check_leases_locked(self, now: float) -> None:
+        for lease in list(self._leases.values()):
+            if lease.reclaimed or now < lease.deadline:
+                continue
+            agent = self._agents.get(lease.agent_id)
+            if agent is not None:
+                self._lose_agent_locked(
+                    agent,
+                    f"lease deadline expired after {self.lease_timeout_s:.0f}s",
+                )
+            else:
+                lease.reclaimed = True
+                task = self._tasks.get(lease.task_id)
+                if task is not None and not task.done and not self._live_leases_locked(task):
+                    self.stats.reclaimed += 1
+                    self._enqueue_locked(task)
+
+    def _check_launches_locked(self, now: float) -> None:
+        for launch in list(self._launches.values()):
+            proc = self._procs.get(launch.agent_id)
+            died = proc is not None and proc.poll() is not None
+            if not died and now < launch.deadline:
+                continue
+            del self._launches[launch.agent_id]
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+            self._procs.pop(launch.agent_id, None)
+            reason = (
+                f"agent exited with code {proc.poll()}" if died
+                else f"agent did not connect within {self.connect_timeout_s:.0f}s"
+            )
+            self._host_failure_locked(launch.host, reason)
+
+    def _purge_ghosts_locked(self, now: float) -> None:
+        for ghost in list(self._ghosts.values()):
+            if now < ghost.until:
+                continue
+            del self._ghosts[ghost.agent_id]
+            proc = self._procs.pop(ghost.agent_id, None)
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+
+    def _launch_deficit_locked(self, now: float) -> None:
+        for host in self._hosts.values():
+            if host.quarantined or now < host.next_launch_at:
+                continue
+            active = sum(1 for a in self._agents.values() if a.host == host.spec.host)
+            active += sum(1 for l in self._launches.values() if l.host == host.spec.host)
+            active += sum(1 for g in self._ghosts.values() if g.host == host.spec.host)
+            while active < host.spec.slots:
+                self._launch_agent_locked(host)
+                active += 1
+
+    def _launch_agent_locked(self, host: _Host) -> None:
+        agent_id = f"{host.spec.host}/{host.launch_seq}"
+        host.launch_seq += 1
+        now = time.monotonic()
+        try:
+            proc = self._spawn_agent(host.spec, agent_id)
+        except OSError as exc:  # pragma: no cover - launcher missing
+            self._host_failure_locked(host.spec.host, f"launch failed: {exc}")
+            return
+        self._procs[agent_id] = proc
+        self._launches[agent_id] = _Launch(
+            agent_id=agent_id,
+            host=host.spec.host,
+            deadline=now + self.connect_timeout_s,
+        )
+        self._emit(f"[remote] launching agent {agent_id}")
+
+    def _spawn_agent(self, spec: HostSpec, agent_id: str) -> subprocess.Popen:
+        connect = f"{self.advertise_host}:{self.port}"
+        argv = [
+            "-m",
+            "repro.framework.remote",
+            "agent",
+            "--connect",
+            connect,
+            "--agent-id",
+            agent_id,
+            "--host",
+            spec.host,
+            "--heartbeat",
+            str(self.heartbeat_interval_s),
+        ]
+        if spec.local:
+            python = self.python or sys.executable
+            env = dict(os.environ)
+            src = str(Path(__file__).resolve().parent.parent.parent)
+            prior = env.get("PYTHONPATH")
+            env["PYTHONPATH"] = src + (os.pathsep + prior if prior else "")
+            return subprocess.Popen(
+                [python] + argv, env=env, stdin=subprocess.DEVNULL
+            )
+        python = self.python or spec.python
+        remote_cmd = " ".join(shlex.quote(part) for part in [python] + argv)
+        return subprocess.Popen(
+            ["ssh", "-o", "BatchMode=yes", spec.host, remote_cmd],
+            stdin=subprocess.DEVNULL,
+        )
+
+    def _duplicate_stragglers_locked(self, now: float) -> None:
+        """Near campaign end, race a long-running lease on an idle agent."""
+        if self._queue:
+            return
+        for task in self._tasks.values():
+            if task.done:
+                continue
+            live = self._live_leases_locked(task)
+            if not live or len(live) >= self.max_leases_per_task:
+                continue
+            oldest = min(lease.started for lease in live)
+            if now - oldest < self.straggler_after_s:
+                continue
+            agent = self._free_agent_locked()
+            if agent is None:
+                return
+            self._grant_locked(agent, task, straggler=True)
+
+    def _check_all_hosts_dead_locked(self) -> None:
+        if self._dead or not self._hosts:
+            return
+        if any(not host.quarantined for host in self._hosts.values()):
+            return
+        if self._agents or self._launches or self._ghosts:
+            return
+        self._dead = True
+        detail = "; ".join(
+            f"{name}: {host.failures} failure(s), last: {host.last_error}"
+            for name, host in self._hosts.items()
+        )
+        self._dead_reason = (
+            f"all {len(self._hosts)} configured host(s) are quarantined ({detail})"
+        )
+        self._emit(f"[remote] campaign cannot proceed: {self._dead_reason}")
+        self._queue.clear()
+        for task in list(self._tasks.values()):
+            if task.done:
+                continue
+            task.done = True
+            exc = HostLostError(
+                f"no hosts remain to run this repetition: {self._dead_reason}"
+            )
+            exc.host = task.last_host or ",".join(self._hosts)
+            for lease_id in task.lease_ids:
+                self._leases.pop(lease_id, None)
+            task.lease_ids.clear()
+            del self._tasks[task.task_id]
+            task.future.set_exception(exc)
+
+    # -- reporting ---------------------------------------------------------
+
+    def host_report(self) -> Dict[str, dict]:
+        """Per-host campaign accounting (reps done, failures, quarantine)."""
+        with self._lock:
+            report = {}
+            for name, host in self._hosts.items():
+                report[name] = {
+                    "slots": host.spec.slots,
+                    "reps_done": host.reps_done,
+                    "failures": host.failures,
+                    "quarantined": host.quarantined,
+                    "last_error": host.last_error,
+                    "agents_launched": host.launch_seq,
+                }
+            return report
+
+    def _emit(self, message: str) -> None:
+        if self.stream is None:
+            return
+        try:
+            print(message, file=self.stream, flush=True)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:  # pragma: no cover - broken stream must not kill dispatch
+            pass
+
+
+# -- worker agent ----------------------------------------------------------
+
+
+@dataclass
+class _AgentRuntime:
+    sock: socket.socket
+    send_lock: threading.Lock
+    heartbeats_enabled: bool = True
+
+
+#: The current connection of this agent process; chaos hooks poke it.
+_RUNTIME: Optional[_AgentRuntime] = None
+
+
+def stop_heartbeats() -> None:
+    """Chaos hook: silence the heartbeat thread (simulates a wedged agent)."""
+    runtime = _RUNTIME
+    if runtime is not None:
+        runtime.heartbeats_enabled = False
+
+
+def drop_connection() -> None:
+    """Chaos hook: sever the coordinator socket (simulates a partition)."""
+    runtime = _RUNTIME
+    if runtime is not None:
+        try:
+            runtime.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            runtime.sock.close()
+        except OSError:
+            pass
+
+
+def _agent_send(runtime: _AgentRuntime, frame: dict) -> None:
+    with runtime.send_lock:
+        send_frame(runtime.sock, frame)
+
+
+def _heartbeat_loop(runtime: _AgentRuntime, interval_s: float, stop: threading.Event) -> None:
+    while not stop.wait(interval_s):
+        if not runtime.heartbeats_enabled:
+            continue
+        try:
+            _agent_send(runtime, {"type": "heartbeat"})
+        except OSError:
+            return
+
+
+def _execute_lease(frame: dict) -> dict:
+    lease_id = frame.get("lease")
+    try:
+        fn = resolve_callable(frame["run_fn"])
+        config = decode_obj(frame["config"])
+        result = fn(config, frame["seed"])
+        return {"type": "result", "lease": lease_id, "payload": encode_obj(result)}
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:
+        import traceback as traceback_module
+
+        return {
+            "type": "failure",
+            "lease": lease_id,
+            "error_type": type(exc).__name__,
+            "message": str(exc).splitlines()[0] if str(exc) else type(exc).__name__,
+            "traceback": "".join(
+                traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+            )[-8000:],
+        }
+
+
+def agent_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.framework.remote agent",
+        description="Long-lived sweep worker agent; connects back to a coordinator.",
+    )
+    parser.add_argument("--connect", required=True, help="coordinator HOST:PORT")
+    parser.add_argument("--agent-id", required=True)
+    parser.add_argument("--host", default=None, help="host label for attribution")
+    parser.add_argument("--heartbeat", type=float, default=0.5)
+    parser.add_argument(
+        "--reconnect-attempts", type=int, default=8,
+        help="consecutive failed connects before giving up",
+    )
+    parser.add_argument("--reconnect-base", type=float, default=0.2)
+    args = parser.parse_args(argv)
+    host_part, _, port_part = args.connect.rpartition(":")
+    address = (host_part, int(port_part))
+
+    global _RUNTIME
+    held: deque = deque()  # frames computed but unsent across a partition
+    connect_failures = 0
+    while True:
+        try:
+            sock = socket.create_connection(address, timeout=10.0)
+        except OSError:
+            connect_failures += 1
+            if connect_failures > args.reconnect_attempts:
+                print(
+                    f"[agent {args.agent_id}] coordinator unreachable; giving up",
+                    file=sys.stderr,
+                )
+                return 1
+            time.sleep(min(10.0, args.reconnect_base * 2 ** (connect_failures - 1)))
+            continue
+        connect_failures = 0
+        sock.settimeout(None)
+        runtime = _RUNTIME = _AgentRuntime(sock=sock, send_lock=threading.Lock())
+        stop = threading.Event()
+        heartbeat = threading.Thread(
+            target=_heartbeat_loop,
+            args=(runtime, args.heartbeat, stop),
+            daemon=True,
+        )
+        try:
+            _agent_send(
+                runtime,
+                {
+                    "type": "hello",
+                    "agent": args.agent_id,
+                    "host": args.host or args.agent_id.split("/", 1)[0],
+                    "pid": os.getpid(),
+                },
+            )
+            heartbeat.start()
+            while held:  # re-deliver results computed during a partition
+                _agent_send(runtime, held[0])
+                held.popleft()
+            while True:
+                frame = recv_frame(sock)
+                if frame is None:
+                    break
+                kind = frame.get("type")
+                if kind == "shutdown":
+                    return 0
+                if kind == "lease":
+                    reply = _execute_lease(frame)
+                    try:
+                        _agent_send(runtime, reply)
+                    except OSError:
+                        held.append(reply)
+                        break
+        except OSError:
+            pass
+        finally:
+            stop.set()
+            try:
+                sock.close()
+            except OSError:
+                pass
+        # EOF or partition without a shutdown frame: reconnect with backoff.
+        time.sleep(args.reconnect_base)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "agent":
+        return agent_main(argv[1:])
+    print(
+        "usage: python -m repro.framework.remote agent --connect HOST:PORT "
+        "--agent-id ID [--heartbeat S]",
+        file=sys.stderr,
+    )
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

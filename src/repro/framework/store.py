@@ -44,10 +44,11 @@ from __future__ import annotations
 import hashlib
 import json
 import pickle
+import time
 import zlib
 from dataclasses import asdict, replace
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO, Tuple, Union
 
 import sqlite3
 
@@ -65,6 +66,15 @@ __all__ = ["STORE_VERSION", "ResultStore", "per_rep_key", "per_rep_key_from_dict
 #: Bump on any incompatible change to the schema or the canonical payload
 #: encoding; an older store is migrated (or rejected) on open, never misread.
 STORE_VERSION = 1
+
+#: Bounded retry for writes that race a concurrent reader/writer: SQLite's
+#: own ``busy_timeout`` handles in-transaction lock waits, this handles the
+#: "database is locked" that still escapes (e.g. a reader holding the lock
+#: longer than the timeout). Total worst-case wait ≈ 3 s on top of the
+#: per-attempt busy timeout.
+_LOCK_RETRIES = 6
+_LOCK_RETRY_BASE_S = 0.05
+_BUSY_TIMEOUT_MS = 5_000
 
 #: Columns exposed to ``query``/``aggregate`` as filterable/aggregatable.
 FILTER_COLUMNS = ("name", "label", "kind", "stack", "cca", "qdisc", "gso")
@@ -195,11 +205,21 @@ class ResultStore:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(str(self.path))
         self._conn.row_factory = sqlite3.Row
+        self._conn.execute(f"PRAGMA busy_timeout = {_BUSY_TIMEOUT_MS}")
+        try:
+            # WAL lets `query`/`report` read a store while a campaign is
+            # still streaming into it (readers never block the writer).
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.OperationalError:  # pragma: no cover - e.g. NFS
+            pass
         version = self._conn.execute("PRAGMA user_version").fetchone()[0]
         if version == 0:
-            with self._conn:
-                self._conn.executescript(_SCHEMA)
-                self._conn.execute(f"PRAGMA user_version = {STORE_VERSION}")
+            def _create() -> None:
+                with self._conn:
+                    self._conn.executescript(_SCHEMA)
+                    self._conn.execute(f"PRAGMA user_version = {STORE_VERSION}")
+
+            self._retry_locked_write(_create)
         elif version > STORE_VERSION:
             self._conn.close()
             raise ConfigError(
@@ -210,6 +230,26 @@ class ResultStore:
         # would migrate here once STORE_VERSION moves past 1.
 
     # -- lifecycle ---------------------------------------------------------
+
+    @staticmethod
+    def _retry_locked_write(write: Callable[[], None]) -> None:
+        """Run one transactional write, retrying bounded on lock contention.
+
+        A campaign streaming into the store must survive a concurrent
+        ``query``/``report`` reader holding the database briefly; anything
+        other than lock/busy contention propagates immediately.
+        """
+        for attempt in range(_LOCK_RETRIES + 1):
+            try:
+                return write()
+            except sqlite3.OperationalError as exc:
+                text = str(exc).lower()
+                if "locked" not in text and "busy" not in text:
+                    raise
+                if attempt >= _LOCK_RETRIES:
+                    raise
+                time.sleep(_LOCK_RETRY_BASE_S * 2**attempt)
+        return None
 
     def close(self) -> None:
         self._conn.close()
@@ -243,25 +283,29 @@ class ResultStore:
     def record_failure(self, failure: RepFailure, config) -> None:
         """Insert (or idempotently re-insert) one finally-failed repetition."""
         key = per_rep_key(config)
-        with self._conn:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO failures (config_key, seed, name, label,"
-                " rep, error_type, message, traceback, attempts, wall_time_s,"
-                " quarantined) VALUES (?,?,?,?,?,?,?,?,?,?,?)",
-                (
-                    key,
-                    _db_seed(failure.seed),
-                    failure.name,
-                    failure.label,
-                    failure.rep,
-                    failure.error_type,
-                    failure.message,
-                    failure.traceback,
-                    failure.attempts,
-                    failure.wall_time_s,
-                    int(failure.quarantined),
-                ),
-            )
+
+        def _write() -> None:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO failures (config_key, seed, name, label,"
+                    " rep, error_type, message, traceback, attempts, wall_time_s,"
+                    " quarantined) VALUES (?,?,?,?,?,?,?,?,?,?,?)",
+                    (
+                        key,
+                        _db_seed(failure.seed),
+                        failure.name,
+                        failure.label,
+                        failure.rep,
+                        failure.error_type,
+                        failure.message,
+                        failure.traceback,
+                        failure.attempts,
+                        failure.wall_time_s,
+                        int(failure.quarantined),
+                    ),
+                )
+
+        self._retry_locked_write(_write)
 
     def _ingest_payload(
         self,
@@ -340,17 +384,21 @@ class ResultStore:
             )
         columns = ", ".join(row)
         placeholders = ", ".join("?" * len(row))
-        with self._conn:
-            self._conn.execute(
-                f"INSERT OR REPLACE INTO reps ({columns}) VALUES ({placeholders})",
-                tuple(row.values()),
-            )
-            # A success supersedes any stale failure for the same repetition
-            # (e.g. re-run after --no-resume healed a crash-looping config).
-            self._conn.execute(
-                "DELETE FROM failures WHERE config_key = ? AND seed = ?",
-                (key, _db_seed(seed)),
-            )
+
+        def _write() -> None:
+            with self._conn:
+                self._conn.execute(
+                    f"INSERT OR REPLACE INTO reps ({columns}) VALUES ({placeholders})",
+                    tuple(row.values()),
+                )
+                # A success supersedes any stale failure for the same repetition
+                # (e.g. re-run after --no-resume healed a crash-looping config).
+                self._conn.execute(
+                    "DELETE FROM failures WHERE config_key = ? AND seed = ?",
+                    (key, _db_seed(seed)),
+                )
+
+        self._retry_locked_write(_write)
 
     # -- migration ---------------------------------------------------------
 

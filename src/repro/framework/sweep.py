@@ -92,8 +92,9 @@ class SweepRunner:
 
     ``backend`` selects the execution backend
     (:mod:`repro.framework.executors`): ``"inprocess"`` (serial),
-    ``"pool"`` (the default supervised process pool), ``"spawn"``, or
-    ``"forkserver"`` (simulator-preloaded workers) — or a ready
+    ``"pool"`` (the default supervised process pool), ``"spawn"``,
+    ``"forkserver"`` (simulator-preloaded workers), or ``"distributed"``
+    (multi-host worker agents) — or a ready
     :class:`~repro.framework.executors.Executor`. Backends are invisible to
     cache keys, journals, and fingerprints: the same grid produces
     bit-identical results under every backend.
@@ -129,13 +130,19 @@ class SweepRunner:
         self.store = store
         if self.cache is not None and self.cache.stream is None:
             self.cache.stream = stream
+        # Distributed executors narrate per-host progress (launches, lease
+        # reclaims, quarantines) onto the sweep's progress stream.
+        if getattr(self.executor, "distributed", False) and self.executor.stream is None:
+            self.executor.stream = stream
 
     def run(self, grid: Mapping[str, ExperimentConfig]) -> Dict[str, RunSummary]:
         """Run every repetition of every named config; summaries keep grid order."""
         for config in grid.values():
             config.validate()
         journal = (
-            SweepJournal.for_grid(self.journal_dir, grid, fresh=not self.resume)
+            SweepJournal.for_grid(
+                self.journal_dir, grid, fresh=not self.resume, stream=self.stream
+            )
             if self.journal_dir is not None
             else None
         )

@@ -13,6 +13,7 @@ from repro.errors import ConfigError
 from repro.framework.config import ExperimentConfig
 from repro.framework.executors import (
     BACKENDS,
+    DistributedExecutor,
     Executor,
     ForkServerExecutor,
     InProcessExecutor,
@@ -35,7 +36,7 @@ class TestMakeExecutor:
         assert isinstance(make_executor(None), PoolExecutor)
 
     def test_every_advertised_backend_resolves(self):
-        assert BACKENDS == ("inprocess", "pool", "spawn", "forkserver")
+        assert BACKENDS == ("inprocess", "pool", "spawn", "forkserver", "distributed")
         for backend in BACKENDS:
             executor = make_executor(backend)
             assert isinstance(executor, Executor)
@@ -54,8 +55,22 @@ class TestMakeExecutor:
         assert not PoolExecutor().serial
         assert not SpawnExecutor().serial
         assert not ForkServerExecutor().serial
+        assert not DistributedExecutor().serial
         with pytest.raises(RuntimeError):
             InProcessExecutor().make_pool(2)
+
+    def test_only_distributed_is_distributed(self):
+        # The flag keeps the Supervisor from collapsing remote campaigns to
+        # the local serial path when workers or tasks drop to one.
+        assert DistributedExecutor().distributed
+        for local in (InProcessExecutor, PoolExecutor, SpawnExecutor, ForkServerExecutor):
+            assert not local().distributed
+
+    def test_distributed_host_specs(self):
+        executor = DistributedExecutor(hosts="localhost:2,node1")
+        assert [(h.host, h.slots) for h in executor.hosts] == [("localhost", 2), ("node1", 1)]
+        with pytest.raises(ConfigError, match="at least one host"):
+            DistributedExecutor(hosts=())
 
 
 class TestStartMethods:

@@ -68,6 +68,30 @@ def test_torn_line_is_skipped(tmp_path):
     assert reloaded.get("a", 1) is None  # torn entry simply re-runs
 
 
+def test_torn_line_warns_instead_of_aborting_resume(tmp_path, capsys):
+    """A crash mid-append leaves a truncated final line; resume must skip it
+    with a warning naming the journal, not abort the campaign."""
+    journal = SweepJournal.for_grid(tmp_path, GRID)
+    journal.record_success("a", 0, 1, "fp")
+    journal.record_success("a", 1, 2, "fp2")
+    raw = journal.path.read_bytes()
+    journal.path.write_bytes(raw[:-7])  # byte-level tear, mid-JSON
+
+    import io
+
+    stream = io.StringIO()
+    reloaded = SweepJournal.for_grid(tmp_path, GRID, stream=stream)
+    assert reloaded.skipped_lines == 1
+    assert reloaded.get("a", 0) is not None  # intact entries survive
+    warning = stream.getvalue()
+    assert "skipped 1 torn/undecodable line" in warning
+    assert str(reloaded.path) in warning
+
+    # Without an explicit stream the warning lands on stderr.
+    SweepJournal.for_grid(tmp_path, GRID)
+    assert "torn/undecodable" in capsys.readouterr().err
+
+
 def test_mismatched_grid_starts_fresh(tmp_path):
     journal = SweepJournal.for_grid(tmp_path, GRID)
     journal.record_success("a", 0, 1, "fp")

@@ -1,0 +1,310 @@
+"""Distributed chaos acceptance: a 2-agent localhost campaign survives agent
+SIGKILLs, dropped heartbeats, socket partitions, and a coordinator kill —
+and every surviving run is bit-identical (result fingerprints and store
+``content_fingerprint``) to the in-process run of the same grid.
+
+Worker agents are real subprocesses launched by the coordinator; the chaos
+worker functions run *inside the agents* (resolved by importable name) and
+consult marker files under ``$REPRO_CHAOS_DIR``, which agents inherit from
+the coordinator's environment at launch, so each fault fires exactly once
+and the re-dispatched lease — same derived seed — must reproduce the clean
+result bit for bit.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.framework.cache import ResultCache
+from repro.framework.config import ExperimentConfig, NetworkConfig
+from repro.framework.executors import DistributedExecutor
+from repro.framework.runner import _run_one
+from repro.framework.store import ResultStore
+from repro.framework.supervision import SupervisionPolicy
+from repro.framework.sweep import SweepRunner
+from repro.net.impairments import iid_loss
+from repro.units import kib
+
+FAST = SupervisionPolicy(timeout_s=60.0, retries=2, backoff_base_s=0.0, poll_interval_s=0.02)
+
+#: Tight failure-detection knobs so each chaos case converges in seconds.
+TUNED = dict(
+    lease_timeout_s=30.0,
+    heartbeat_interval_s=0.1,
+    heartbeat_misses=5,
+    relaunch_backoff_s=0.1,
+    relaunch_backoff_max_s=0.5,
+    max_host_failures=10,
+    connect_timeout_s=30.0,
+    reconnect_grace_s=0.3,
+    straggler_after_s=20.0,
+    poll_interval_s=0.02,
+)
+
+
+def _executor(hosts="localhost:2", **overrides):
+    return DistributedExecutor(hosts=hosts, **{**TUNED, **overrides})
+
+
+def _grid():
+    return {
+        "clean": ExperimentConfig(stack="quiche", file_size=kib(100), repetitions=2),
+        "lossy": ExperimentConfig(
+            stack="quiche",
+            file_size=kib(100),
+            repetitions=2,
+            network=NetworkConfig(forward_impairments=(iid_loss(0.02),)),
+        ),
+    }
+
+
+def _fingerprints(summaries):
+    return {
+        name: [r.fingerprint() for r in summary.results]
+        for name, summary in summaries.items()
+    }
+
+
+def _store_of(summaries, path) -> ResultStore:
+    """Record already-computed summaries into a fresh store (ground truth)."""
+    store = ResultStore(path)
+    for name, summary in summaries.items():
+        for rep, result in enumerate(summary.results):
+            store.record_result(name, rep, result)
+    return store
+
+
+def _chaos_marker(tag: str) -> Path:
+    return Path(os.environ["REPRO_CHAOS_DIR"]) / tag
+
+
+@pytest.fixture(scope="module")
+def clean_serial():
+    """The uninterrupted in-process ground truth every chaotic run must match."""
+    return SweepRunner(workers=1, backend="inprocess").run(_grid())
+
+
+@pytest.fixture
+def chaos_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path / "chaos"))
+    (tmp_path / "chaos").mkdir()
+    return tmp_path
+
+
+# -- chaos worker functions (execute inside agent processes) ----------------
+
+
+def die_once_run_one(config, seed):
+    """First execution of each lossy rep kills its agent process outright."""
+    marker = _chaos_marker(f"died-{seed}")
+    if config.network.forward_impairments and not marker.exists():
+        marker.touch()
+        os._exit(31)  # as abrupt as a SIGKILL: no result, no failure frame
+    return _run_one(config, seed)
+
+
+def stall_heartbeats_run_one(config, seed):
+    """First lossy rep wedges its agent: heartbeats stop, the rep never ends."""
+    marker = _chaos_marker(f"stalled-{seed}")
+    if config.network.forward_impairments and not marker.exists():
+        marker.touch()
+        from repro.framework import remote
+
+        remote.stop_heartbeats()
+        time.sleep(120)  # agent is declared lost and killed long before this
+    return _run_one(config, seed)
+
+
+def partition_once_run_one(config, seed):
+    """First lossy rep severs the agent's socket, then computes anyway.
+
+    The coordinator reclaims the lease and re-dispatches it; the partitioned
+    agent finishes its copy, reconnects, and re-delivers — first result
+    wins, the other is discarded idempotently.
+    """
+    marker = _chaos_marker(f"partitioned-{seed}")
+    if config.network.forward_impairments and not marker.exists():
+        marker.touch()
+        from repro.framework import remote
+
+        remote.drop_connection()
+    return _run_one(config, seed)
+
+
+def flaky_once_run_one(config, seed):
+    """Every rep's first execution raises; the Supervisor's retry (same
+    derived seed, possibly on another host) must match the clean run."""
+    # Both grid configs share default seeds, so the marker needs the config
+    # identity too or the second config's rep would not flake.
+    kind = "lossy" if config.network.forward_impairments else "clean"
+    marker = _chaos_marker(f"flaked-{kind}-{seed}")
+    if not marker.exists():
+        marker.touch()
+        raise ValueError("injected remote flake")
+    return _run_one(config, seed)
+
+
+def always_die_run_one(config, seed):
+    os._exit(33)
+
+
+# -- the harness -----------------------------------------------------------
+
+
+def test_distributed_campaign_matches_inprocess_bit_for_bit(clean_serial):
+    executor = _executor()
+    summaries = SweepRunner(workers=4, policy=FAST, backend=executor).run(_grid())
+    assert _fingerprints(summaries) == _fingerprints(clean_serial)
+    assert all(not s.failures for s in summaries.values())
+    coordinator = executor.last_coordinator
+    assert coordinator.stats.settled == 4  # all four reps really ran remotely
+    report = coordinator.host_report()
+    assert report["localhost"]["reps_done"] == 4
+    assert report["localhost"]["failures"] == 0
+
+
+def test_agent_killed_mid_rep_recovers_bit_identically(chaos_dir, clean_serial):
+    executor = _executor()
+    summaries = SweepRunner(
+        workers=4, policy=FAST, backend=executor, run_fn=die_once_run_one
+    ).run(_grid())
+    assert _fingerprints(summaries) == _fingerprints(clean_serial)
+    # The kill is charged to the host (relaunch), never the config: no
+    # RepFailures, no quarantine, and the host report shows the crashes.
+    assert all(not s.failures for s in summaries.values())
+    coordinator = executor.last_coordinator
+    report = coordinator.host_report()
+    assert report["localhost"]["failures"] >= 1
+    assert not report["localhost"]["quarantined"]
+    assert coordinator.stats.reclaimed >= 1
+    assert report["localhost"]["agents_launched"] >= 3  # replacements came up
+
+
+def test_agent_with_dropped_heartbeats_is_replaced(chaos_dir, clean_serial):
+    executor = _executor()
+    summaries = SweepRunner(
+        workers=4, policy=FAST, backend=executor, run_fn=stall_heartbeats_run_one
+    ).run(_grid())
+    assert _fingerprints(summaries) == _fingerprints(clean_serial)
+    assert all(not s.failures for s in summaries.values())
+    coordinator = executor.last_coordinator
+    assert coordinator.stats.reclaimed >= 1  # the wedged lease was reclaimed
+    assert coordinator.host_report()["localhost"]["failures"] >= 1
+
+
+def test_partitioned_socket_reconnects_and_duplicates_resolve(chaos_dir, clean_serial):
+    store = ResultStore(chaos_dir / "partition.sqlite")
+    # Long ghost grace: the partitioned agent must survive long enough to
+    # finish its repetition, reconnect, and re-deliver the held result.
+    executor = _executor(reconnect_grace_s=15.0)
+    summaries = SweepRunner(
+        workers=4, policy=FAST, backend=executor,
+        run_fn=partition_once_run_one, store=store,
+    ).run(_grid())
+    assert _fingerprints(summaries) == _fingerprints(clean_serial)
+    assert all(not s.failures for s in summaries.values())
+    # Both the re-dispatched copy and the reconnecting agent's held result
+    # were delivered; the store's (config-hash, seed) key keeps one row each.
+    assert store.rep_count() == 4
+    assert store.failure_count() == 0
+    clean_store = _store_of(clean_serial, chaos_dir / "clean.sqlite")
+    assert store.content_fingerprint() == clean_store.content_fingerprint()
+
+
+def test_remote_exception_retried_with_same_seed_is_bit_identical(
+    chaos_dir, clean_serial
+):
+    executor = _executor()
+    summaries = SweepRunner(
+        workers=4, policy=FAST, backend=executor, run_fn=flaky_once_run_one
+    ).run(_grid())
+    assert _fingerprints(summaries) == _fingerprints(clean_serial)
+    assert all(not s.failures for s in summaries.values())
+    # Exceptions raised *by the repetition* travel back as failure frames
+    # and are charged to the config through the ordinary retry machinery.
+    assert executor.last_coordinator.stats.rep_failures == 4
+
+
+class _KillAfter:
+    """A progress stream whose write raises once enough sweep-level progress
+    lines have been printed — the in-process stand-in for SIGKILLing the
+    coordinator process.
+
+    It only trips on ``[sweep]`` lines, which the SweepRunner prints on the
+    main thread *after* journaling and storing the repetition; the
+    coordinator's own ``[remote]`` narration (emitted from its service
+    threads) passes through untouched.
+    """
+
+    def __init__(self, sweep_lines: int):
+        self.remaining = sweep_lines
+
+    def write(self, text: str) -> None:
+        if "[sweep]" in text:
+            self.remaining -= 1
+            if self.remaining < 0:
+                raise KeyboardInterrupt
+
+    def flush(self) -> None:
+        pass
+
+
+def test_coordinator_killed_mid_campaign_resumes_to_bit_identical_store(
+    chaos_dir, clean_serial
+):
+    """The PR's acceptance case: 2 localhost agents, the coordinator dies
+    after two settled reps, a second invocation resumes through the journal
+    and the final store fingerprint equals the in-process run's."""
+    cache = ResultCache(chaos_dir / "cache")
+    journal_dir = chaos_dir / "journals"
+    store_path = chaos_dir / "campaign.sqlite"
+    with pytest.raises(KeyboardInterrupt):
+        SweepRunner(
+            workers=4,
+            policy=FAST,
+            backend=_executor(),
+            stream=_KillAfter(sweep_lines=1),
+            cache=cache,
+            journal_dir=journal_dir,
+            store=ResultStore(store_path),
+        ).run(_grid())
+    interrupted = ResultStore(store_path)
+    assert 0 < interrupted.rep_count() < 4  # the kill landed mid-campaign
+    interrupted.close()
+
+    resumed_store = ResultStore(store_path)
+    summaries = SweepRunner(
+        workers=4,
+        policy=FAST,
+        backend=_executor(),
+        cache=ResultCache(chaos_dir / "cache"),
+        journal_dir=journal_dir,
+        store=resumed_store,
+    ).run(_grid())
+    assert all(not s.failures for s in summaries.values())
+    assert _fingerprints(summaries) == _fingerprints(clean_serial)
+    assert resumed_store.rep_count() == 4  # journal replay added no duplicates
+    assert resumed_store.failure_count() == 0
+    clean_store = _store_of(clean_serial, chaos_dir / "clean.sqlite")
+    assert resumed_store.content_fingerprint() == clean_store.content_fingerprint()
+
+
+def test_all_hosts_lost_fails_with_per_host_attribution(chaos_dir):
+    """When every host is gone the campaign fails fast — and the failures
+    are attributed to the host, not the configuration."""
+    executor = _executor(hosts="localhost:1", max_host_failures=1)
+    grid = {"clean": ExperimentConfig(stack="quiche", file_size=kib(100), repetitions=2)}
+    summaries = SweepRunner(
+        workers=2, policy=FAST, backend=executor, run_fn=always_die_run_one
+    ).run(grid)
+    failures = summaries["clean"].failures
+    assert len(failures) == 2
+    for failure in failures:
+        assert failure.error_type == "HostLostError"
+        assert failure.host == "localhost"  # charged to the host...
+        assert not failure.quarantined  # ...not the config
+    report = executor.last_coordinator.host_report()
+    assert report["localhost"]["quarantined"]
+    assert report["localhost"]["failures"] >= 1

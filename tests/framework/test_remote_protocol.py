@@ -1,0 +1,398 @@
+"""Unit tests for the distributed wire protocol and coordinator plumbing.
+
+These drive the frame codec, host-spec parsing, and the coordinator against
+hand-rolled fake agents over real sockets — no subprocesses — so the lease
+lifecycle (dispatch, settle, duplicate discard, failure reconstruction) is
+pinned independently of the full chaos harness.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigError, HostLostError, ProtocolError
+from repro.framework.remote import (
+    Coordinator,
+    HostSpec,
+    MAX_FRAME_BYTES,
+    callable_name,
+    decode_obj,
+    encode_obj,
+    load_hosts_file,
+    merge_hosts,
+    parse_host_spec,
+    parse_hosts,
+    recv_frame,
+    resolve_callable,
+    send_frame,
+)
+
+
+# -- frame layer -----------------------------------------------------------
+
+
+def _pair():
+    return socket.socketpair()
+
+
+def test_frame_round_trip():
+    a, b = _pair()
+    try:
+        send_frame(a, {"type": "hello", "agent": "x/0", "pid": 7})
+        assert recv_frame(b) == {"type": "hello", "agent": "x/0", "pid": 7}
+    finally:
+        a.close()
+        b.close()
+
+
+def test_frames_preserve_order_and_boundaries():
+    a, b = _pair()
+    try:
+        for i in range(50):
+            send_frame(a, {"n": i, "pad": "x" * i})
+        for i in range(50):
+            assert recv_frame(b)["n"] == i
+    finally:
+        a.close()
+        b.close()
+
+
+def test_recv_frame_returns_none_on_eof():
+    a, b = _pair()
+    a.close()
+    try:
+        assert recv_frame(b) is None
+    finally:
+        b.close()
+
+
+def test_recv_frame_returns_none_on_torn_frame():
+    a, b = _pair()
+    try:
+        # A length prefix promising more bytes than ever arrive (the peer
+        # died mid-frame) must read as EOF, not hang or raise.
+        a.sendall((1000).to_bytes(4, "big") + b'{"type":')
+        a.close()
+        assert recv_frame(b) is None
+    finally:
+        b.close()
+
+
+def test_recv_frame_rejects_oversized_length_prefix():
+    a, b = _pair()
+    try:
+        a.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+        with pytest.raises(ProtocolError):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_send_frame_rejects_non_object_payload():
+    a, b = _pair()
+    try:
+        send_frame(a, {"ok": 1})
+        a.sendall((4).to_bytes(4, "big") + b"[10]")
+        assert recv_frame(b) == {"ok": 1}
+        with pytest.raises(ProtocolError):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_object_codec_round_trips_arbitrary_python():
+    payload = {"tuple": (1, 2), "bytes": b"\x00\xff", "nested": [{"x": 1.5}]}
+    assert decode_obj(encode_obj(payload)) == payload
+
+
+# -- callable naming -------------------------------------------------------
+
+
+def _sample_fn(config, seed):
+    return (config, seed * 2)
+
+
+def test_callable_name_round_trips():
+    name = callable_name(_sample_fn)
+    assert name == f"{__name__}:_sample_fn"
+    assert resolve_callable(name) is _sample_fn
+
+
+def test_callable_name_rejects_lambdas_and_locals():
+    with pytest.raises(ConfigError):
+        callable_name(lambda c, s: None)
+
+    def local_fn(c, s):
+        return None
+
+    with pytest.raises(ConfigError):
+        callable_name(local_fn)
+
+
+def test_resolve_callable_rejects_malformed_names():
+    with pytest.raises(ProtocolError):
+        resolve_callable("no-colon")
+
+
+# -- host specs ------------------------------------------------------------
+
+
+def test_parse_hosts_specs_and_slots():
+    assert parse_hosts("localhost") == (HostSpec("localhost", 1),)
+    assert parse_hosts("a:4,b") == (HostSpec("a", 4), HostSpec("b", 1))
+    # Duplicate host names merge by summing slots.
+    assert parse_hosts("a:1,a:2") == (HostSpec("a", 3),)
+
+
+@pytest.mark.parametrize("bad", ["", ",", "a:zero", "a:0", ":3"])
+def test_parse_hosts_rejects_garbage(bad):
+    with pytest.raises(ConfigError):
+        parse_hosts(bad)
+
+
+def test_hosts_file_skips_comments_and_blanks(tmp_path):
+    path = tmp_path / "hosts"
+    path.write_text("# fleet\nnode1:2\n\nnode2  # gpu box\n")
+    assert load_hosts_file(path) == (HostSpec("node1", 2), HostSpec("node2", 1))
+
+
+def test_hosts_file_with_no_hosts_is_an_error(tmp_path):
+    path = tmp_path / "hosts"
+    path.write_text("# nothing here\n")
+    with pytest.raises(ConfigError):
+        load_hosts_file(path)
+
+
+def test_merge_hosts_accepts_mixed_specs_and_strings():
+    merged = merge_hosts(["a:2", HostSpec("a", 1), "b"])
+    assert merged == (HostSpec("a", 3), HostSpec("b", 1))
+
+
+# -- coordinator against a fake agent --------------------------------------
+
+
+class FakeAgent:
+    """A scripted agent: real socket, no subprocess, test-controlled replies."""
+
+    def __init__(self, port: int, agent_id: str = "fake/0", host: str = "fake"):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+        send_frame(self.sock, {"type": "hello", "agent": agent_id, "host": host, "pid": 0})
+
+    def recv(self, timeout: float = 5.0) -> dict:
+        self.sock.settimeout(timeout)
+        frame = recv_frame(self.sock)
+        assert frame is not None
+        return frame
+
+    def send(self, frame: dict) -> None:
+        send_frame(self.sock, frame)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture
+def coordinator():
+    # No configured hosts: the coordinator launches nothing and can never
+    # declare all hosts dead; fake agents connect in from the test.
+    coord = Coordinator((), heartbeat_interval_s=60.0, lease_timeout_s=60.0).start()
+    yield coord
+    coord.shutdown(wait=False, cancel_futures=True)
+
+
+def _wait(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def test_coordinator_dispatches_lease_and_settles_result(coordinator):
+    agent = FakeAgent(coordinator.port)
+    try:
+        future = coordinator.submit(_sample_fn, "cfg", 7)
+        lease = agent.recv()
+        assert lease["type"] == "lease"
+        assert lease["run_fn"] == f"{__name__}:_sample_fn"
+        assert lease["seed"] == 7
+        assert decode_obj(lease["config"]) == "cfg"
+        agent.send(
+            {"type": "result", "lease": lease["lease"], "payload": encode_obj(("cfg", 14))}
+        )
+        assert future.result(timeout=5.0) == ("cfg", 14)
+        assert coordinator.stats.settled == 1
+    finally:
+        agent.close()
+
+
+def test_duplicate_result_is_discarded_idempotently(coordinator):
+    agent = FakeAgent(coordinator.port)
+    try:
+        future = coordinator.submit(_sample_fn, "cfg", 3)
+        lease = agent.recv()
+        reply = {"type": "result", "lease": lease["lease"], "payload": encode_obj(6)}
+        agent.send(reply)
+        assert future.result(timeout=5.0) == 6
+        agent.send(reply)  # replayed after, e.g., a reconnect
+        assert _wait(lambda: coordinator.stats.duplicates_discarded == 1)
+        assert coordinator.stats.settled == 1
+    finally:
+        agent.close()
+
+
+def test_unknown_lease_result_is_discarded(coordinator):
+    agent = FakeAgent(coordinator.port)
+    try:
+        agent.send({"type": "result", "lease": 424242, "payload": encode_obj(1)})
+        assert _wait(lambda: coordinator.stats.duplicates_discarded == 1)
+    finally:
+        agent.close()
+
+
+def test_failure_frame_reconstructs_exception_with_host_attribution(coordinator):
+    agent = FakeAgent(coordinator.port, agent_id="nodeX/0", host="nodeX")
+    try:
+        future = coordinator.submit(_sample_fn, "cfg", 5)
+        lease = agent.recv()
+        agent.send(
+            {
+                "type": "failure",
+                "lease": lease["lease"],
+                "error_type": "ValueError",
+                "message": "injected",
+                "traceback": "Traceback: injected\n",
+            }
+        )
+        exc = future.exception(timeout=5.0)
+        assert isinstance(exc, ValueError)
+        assert str(exc) == "injected"
+        assert exc.host == "nodeX"
+        assert "injected" in exc.remote_traceback
+    finally:
+        agent.close()
+
+
+def test_unconstructible_remote_error_falls_back_to_remote_rep_error(coordinator):
+    agent = FakeAgent(coordinator.port)
+    try:
+        future = coordinator.submit(_sample_fn, "cfg", 5)
+        lease = agent.recv()
+        agent.send(
+            {
+                "type": "failure",
+                "lease": lease["lease"],
+                "error_type": "SomeThirdPartyError",
+                "message": "boom",
+                "traceback": "",
+            }
+        )
+        exc = future.exception(timeout=5.0)
+        from repro.errors import RemoteRepError
+
+        assert isinstance(exc, RemoteRepError)
+        assert "SomeThirdPartyError" in str(exc) and "boom" in str(exc)
+    finally:
+        agent.close()
+
+
+def test_lost_agent_lease_is_reclaimed_and_redispatched():
+    coord = Coordinator(
+        (), heartbeat_interval_s=60.0, lease_timeout_s=60.0,
+        reconnect_grace_s=0.1, poll_interval_s=0.02,
+    ).start()
+    first = FakeAgent(coord.port, agent_id="fake/0")
+    try:
+        future = coord.submit(_sample_fn, "cfg", 9)
+        lease = first.recv()
+        first.close()  # dies mid-lease
+        assert _wait(lambda: coord.stats.reclaimed == 1)
+        second = FakeAgent(coord.port, agent_id="fake/1")
+        try:
+            redispatch = second.recv()
+            # Same task, same seed: recovery is bit-identical by construction.
+            assert redispatch["seed"] == lease["seed"] == 9
+            assert redispatch["lease"] != lease["lease"]
+            second.send(
+                {"type": "result", "lease": redispatch["lease"], "payload": encode_obj(18)}
+            )
+            assert future.result(timeout=5.0) == 18
+        finally:
+            second.close()
+    finally:
+        first.close()
+        coord.shutdown(wait=False, cancel_futures=True)
+
+
+def test_straggler_duplicate_first_result_wins():
+    coord = Coordinator(
+        (), heartbeat_interval_s=60.0, lease_timeout_s=60.0,
+        straggler_after_s=0.1, poll_interval_s=0.02,
+    ).start()
+    slow = FakeAgent(coord.port, agent_id="slow/0", host="slow")
+    fast = FakeAgent(coord.port, agent_id="fast/0", host="fast")
+    try:
+        future = coord.submit(_sample_fn, "cfg", 11)
+        # One of the two idle agents gets the lease; the other goes idle and
+        # after straggler_after_s receives a duplicate of the same task.
+        for agent in (slow, fast):
+            agent.sock.setblocking(False)
+        deadline = time.monotonic() + 5.0
+        leases = {}
+        while len(leases) < 2 and time.monotonic() < deadline:
+            for name, agent in (("slow", slow), ("fast", fast)):
+                if name in leases:
+                    continue
+                try:
+                    frame = recv_frame(agent.sock)
+                except (BlockingIOError, socket.timeout):
+                    continue
+                if frame is not None:
+                    leases[name] = frame
+            time.sleep(0.01)
+        assert len(leases) == 2, "straggler duplicate was never dispatched"
+        assert leases["slow"]["seed"] == leases["fast"]["seed"] == 11
+        assert coord.stats.stragglers == 1
+        for agent in (slow, fast):
+            agent.sock.setblocking(True)
+        fast.send(
+            {"type": "result", "lease": leases["fast"]["lease"], "payload": encode_obj(22)}
+        )
+        assert future.result(timeout=5.0) == 22
+        slow.send(
+            {"type": "result", "lease": leases["slow"]["lease"], "payload": encode_obj(99)}
+        )
+        assert _wait(lambda: coord.stats.duplicates_discarded == 1)
+        assert future.result() == 22  # first result won; loser discarded
+    finally:
+        slow.close()
+        fast.close()
+        coord.shutdown(wait=False, cancel_futures=True)
+
+
+def test_submit_after_shutdown_fails_fast_with_host_lost_error():
+    coord = Coordinator(()).start()
+    coord.shutdown(wait=False)
+    future = coord.submit(_sample_fn, "cfg", 1)
+    with pytest.raises(HostLostError):
+        future.result(timeout=1.0)
+
+
+def test_shutdown_sends_shutdown_frame_to_agents():
+    coord = Coordinator(()).start()
+    agent = FakeAgent(coord.port)
+    try:
+        assert _wait(lambda: coord.stats is not None and len(coord._agents) == 1)
+        coord.shutdown(wait=False)
+        frame = agent.recv()
+        assert frame["type"] == "shutdown"
+    finally:
+        agent.close()

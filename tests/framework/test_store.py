@@ -210,6 +210,85 @@ class TestQuerying:
         assert groups["poison"]["goodput"] is None
 
 
+class TestConcurrency:
+    def test_store_opens_in_wal_mode(self, store):
+        (mode,) = store._conn.execute("PRAGMA journal_mode").fetchone()
+        assert mode.lower() == "wal"
+
+    def test_reader_queries_while_a_campaign_streams_in(self, tmp_path, results):
+        """`repro store query/report` must work mid-campaign: WAL readers
+        never block (or get blocked by) the coordinator's writer connection."""
+        import threading
+
+        path = tmp_path / "live.sqlite"
+        writer = ResultStore(path)
+        writer.record_result("quiche", 0, results[0])
+        errors = []
+        stop = threading.Event()
+
+        def read_loop():
+            # Its own connection, like a separate `repro store query` process.
+            try:
+                reader = ResultStore(path)
+                while not stop.is_set():
+                    reader.query()
+                    reader.content_fingerprint()
+                reader.close()
+            except Exception as exc:  # pragma: no cover - the failure path
+                errors.append(exc)
+
+        thread = threading.Thread(target=read_loop)
+        thread.start()
+        try:
+            for _ in range(30):
+                writer.record_result("quiche", 1, results[1])
+                writer.record_failure(_failure(), CONFIG)
+        finally:
+            stop.set()
+            thread.join()
+        assert errors == []
+        assert writer.rep_count() == 2
+        assert writer.failure_count() == 1
+
+    def test_locked_write_retries_until_the_lock_clears(self, tmp_path):
+        """A write that hits `database is locked` retries with backoff instead
+        of surfacing the OperationalError to the campaign."""
+        import threading
+
+        path = tmp_path / "contended.sqlite"
+        store = ResultStore(path)
+        # check_same_thread=False so the timer thread may release the lock.
+        blocker = sqlite3.connect(str(path), check_same_thread=False)
+        blocker.execute("PRAGMA busy_timeout = 0")
+        blocker.execute("BEGIN IMMEDIATE")  # holds the write lock
+
+        timer = threading.Timer(0.3, blocker.rollback)
+        timer.start()
+        try:
+            store.record_failure(_failure(), CONFIG)  # must outlast the lock
+        finally:
+            timer.cancel()
+            blocker.close()
+        assert store.failure_count() == 1
+
+    def test_lock_retry_is_bounded_not_infinite(self, tmp_path, monkeypatch):
+        from repro.framework import store as store_module
+
+        monkeypatch.setattr(store_module, "_LOCK_RETRY_BASE_S", 0.001)
+        path = tmp_path / "stuck.sqlite"
+        store = ResultStore(path)
+        blocker = sqlite3.connect(str(path))
+        blocker.execute("PRAGMA busy_timeout = 0")
+        blocker.execute("BEGIN IMMEDIATE")
+        store._conn.execute("PRAGMA busy_timeout = 0")  # keep the test fast
+        try:
+            with pytest.raises(sqlite3.OperationalError, match="locked"):
+                store.record_failure(_failure(), CONFIG)
+        finally:
+            blocker.rollback()
+            blocker.close()
+
+
 class TestVersioning:
     def test_newer_store_is_rejected_not_misread(self, tmp_path):
         path = tmp_path / "future.sqlite"

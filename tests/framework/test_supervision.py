@@ -105,6 +105,17 @@ class TestPolicy:
         with pytest.raises(ValueError):
             SupervisionPolicy(quarantine_after=0)
 
+    def test_backoff_schedule_is_derived_not_random(self):
+        # Retry delays are a pure function of (policy, failed-attempt count):
+        # no wall clock, no RNG — so a campaign's retry timing is replayable
+        # and two coordinators with the same policy behave identically.
+        policy = SupervisionPolicy(backoff_base_s=0.05, backoff_max_s=5.0)
+        schedule = [policy.backoff_s(n) for n in range(1, 12)]
+        assert schedule == [policy.backoff_s(n) for n in range(1, 12)]
+        assert schedule == [min(5.0, 0.05 * 2 ** (n - 1)) for n in range(1, 12)]
+        twin = SupervisionPolicy(backoff_base_s=0.05, backoff_max_s=5.0)
+        assert schedule == [twin.backoff_s(n) for n in range(1, 12)]
+
 
 class TestRepFailure:
     def test_round_trips_through_dict(self):
@@ -238,3 +249,60 @@ class TestPooledSupervision:
         successes, failures = _collect(supervisor, tasks, workers=2)
         assert len(successes) == 2
         assert failures[(stuck.label, 0)].attempts == 2
+
+
+@dataclass(frozen=True)
+class FlakyExperiment:
+    """A real experiment config plus a marker directory, picklable across
+    spawn/forkserver workers (which see a stale environment snapshot, so the
+    marker path must travel inside the config, not in ``os.environ``)."""
+
+    config: object
+    marker: str
+
+    @property
+    def label(self) -> str:
+        return self.config.label
+
+
+def flaky_experiment_run(wrapper: FlakyExperiment, seed: int):
+    marker = Path(wrapper.marker) / f"flaked-{seed}"
+    if not marker.exists():
+        marker.touch()
+        raise RuntimeError("transient failure before the simulation started")
+    from repro.framework.runner import _run_one
+
+    return _run_one(wrapper.config, seed)
+
+
+class TestRetryDeterminism:
+    """Satellite guarantee: a retried repetition reuses its derived seed, so
+    its result is byte-identical to a first-try success — under every pooled
+    backend (the distributed equivalent lives in ``test_remote_chaos``)."""
+
+    @pytest.mark.parametrize("backend", ["pool", "spawn", "forkserver"])
+    def test_retried_rep_matches_first_try_success(self, tmp_path, backend):
+        from repro.framework.config import ExperimentConfig
+        from repro.framework.executors import make_executor
+        from repro.framework.runner import _run_one, derive_seed
+        from repro.units import kib
+
+        config = ExperimentConfig(stack="quiche", file_size=kib(64), repetitions=2)
+        seeds = [derive_seed(config.seed, rep) for rep in range(2)]
+        baseline = {seed: _run_one(config, seed).fingerprint() for seed in seeds}
+
+        wrapper = FlakyExperiment(config=config, marker=str(tmp_path))
+        tasks = [
+            RepTask(name="flaky", config=wrapper, rep=rep, seed=seed)
+            for rep, seed in enumerate(seeds)
+        ]
+        supervisor = Supervisor(
+            SupervisionPolicy(retries=2, **FAST),
+            run_fn=flaky_experiment_run,
+            executor=make_executor(backend),
+        )
+        successes, failures = _collect(supervisor, tasks, workers=2)
+        assert not failures
+        for (_, rep), (task, result) in successes.items():
+            assert task.attempts == 2  # first try really flaked
+            assert result.fingerprint() == baseline[seeds[rep]]
