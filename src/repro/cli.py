@@ -168,6 +168,16 @@ def _add_exec(parser: argparse.ArgumentParser) -> None:
         "merged with --hosts",
     )
     parser.add_argument(
+        "--bind-host", metavar="ADDR", default=None,
+        help="interface the distributed coordinator listens on (default: "
+        "127.0.0.1 for all-local fleets, 0.0.0.0 when any host is remote)",
+    )
+    parser.add_argument(
+        "--advertise-host", metavar="ADDR", default=None,
+        help="address agents connect back to (default: 127.0.0.1 for "
+        "all-local fleets, otherwise this machine's hostname)",
+    )
+    parser.add_argument(
         "--store", metavar="PATH", default=None,
         help="stream every settled repetition into this SQLite result store "
         "(queryable afterwards with `repro query` / `repro report`)",
@@ -211,10 +221,21 @@ def _resolve_backend(args: argparse.Namespace):
         raise ConfigError(
             f"--hosts/--hosts-file need --backend distributed, not {backend!r}"
         )
+    coordinator_kwargs = {}
+    if getattr(args, "bind_host", None):
+        coordinator_kwargs["bind_host"] = args.bind_host
+    if getattr(args, "advertise_host", None):
+        coordinator_kwargs["advertise_host"] = args.advertise_host
+    if coordinator_kwargs and not (backend == "distributed" or hosts):
+        raise ConfigError(
+            f"--bind-host/--advertise-host need --backend distributed, not {backend!r}"
+        )
     if backend == "distributed" or hosts:
         from repro.framework.executors import DistributedExecutor
 
-        return DistributedExecutor(hosts=hosts or ("localhost",), stream=sys.stderr)
+        return DistributedExecutor(
+            hosts=hosts or ("localhost",), stream=sys.stderr, **coordinator_kwargs
+        )
     return backend
 
 

@@ -101,6 +101,15 @@ class Executor:
     def make_pool(self, workers: int) -> ProcessPoolExecutor:
         raise NotImplementedError(f"{self.name!r} backend does not pool")
 
+    def observe_policy(self, policy) -> None:
+        """Hook: the Supervisor announces its policy before pools are made.
+
+        Local backends ignore it; the distributed backend derives its lease
+        deadline from the per-repetition timeout so a legitimately slow
+        repetition is charged a :class:`~repro.errors.RepTimeoutError` by
+        the watchdog instead of masquerading as a host failure.
+        """
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -193,6 +202,21 @@ class DistributedExecutor(Executor):
         self.stream = stream
         self.coordinator_kwargs = dict(coordinator_kwargs)
         self.last_coordinator = None
+
+    #: A lease deadline must outlive the Supervisor's own per-rep watchdog
+    #: by this factor, so the watchdog (which charges the config a
+    #: RepTimeoutError and retries) always fires before lease expiry
+    #: (which kills the agent and charges the host).
+    LEASE_TIMEOUT_FACTOR = 1.25
+
+    def observe_policy(self, policy) -> None:
+        timeout_s = getattr(policy, "timeout_s", None)
+        if timeout_s is None:
+            return
+        floor = timeout_s * self.LEASE_TIMEOUT_FACTOR
+        current = self.coordinator_kwargs.get("lease_timeout_s", 300.0)
+        if current < floor:
+            self.coordinator_kwargs["lease_timeout_s"] = floor
 
     def make_pool(self, workers: int):
         from repro.framework.remote import Coordinator

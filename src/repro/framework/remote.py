@@ -22,6 +22,9 @@ layer stays printable and loggable. Frame types:
 ===========  =========  ====================================================
 type         direction  meaning
 ===========  =========  ====================================================
+challenge    c -> a     auth nonce; first frame on every connection
+auth         a -> c     HMAC proof for the challenge + the agent's own nonce
+welcome      c -> a     HMAC proof for the agent's nonce (mutual auth)
 hello        a -> c     agent announces ``agent`` id, ``host``, ``pid``
 heartbeat    a -> c     liveness beacon, every ``heartbeat_interval_s``
 lease        c -> a     one repetition: lease id, run_fn name, config, seed
@@ -29,6 +32,14 @@ result       a -> c     settled repetition payload for a lease
 failure      a -> c     exception type/message/traceback for a lease
 shutdown     c -> a     campaign over; agent exits cleanly
 ===========  =========  ====================================================
+
+Because ``result``/``lease`` payloads are pickled, the socket is a code
+execution surface; no frame that carries a payload is accepted before a
+mutual HMAC-SHA256 challenge-response handshake over a per-campaign random
+shared secret (:data:`SECRET_ENV`, handed to agents through their launch
+environment — never the wire). The coordinator binds to the loopback
+interface for all-local fleets and to all interfaces only when a non-local
+host is configured (override with ``bind_host``/``--bind-host``).
 
 Lease lifecycle
 ---------------
@@ -63,6 +74,7 @@ from __future__ import annotations
 import argparse
 import base64
 import builtins
+import hmac
 import itertools
 import json
 import os
@@ -81,14 +93,22 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import ConfigError, HostLostError, ProtocolError, RemoteRepError
+from repro.errors import (
+    ConfigError,
+    HostLostError,
+    ProtocolError,
+    RemoteRepError,
+    RepTimeoutError,
+)
 
 __all__ = [
     "Coordinator",
     "HostSpec",
     "MAX_FRAME_BYTES",
+    "SECRET_ENV",
     "agent_main",
     "callable_name",
+    "client_handshake",
     "decode_obj",
     "drop_connection",
     "encode_obj",
@@ -98,6 +118,7 @@ __all__ = [
     "recv_frame",
     "resolve_callable",
     "send_frame",
+    "server_handshake",
     "stop_heartbeats",
 ]
 
@@ -156,6 +177,84 @@ def encode_obj(obj: Any) -> str:
 
 def decode_obj(blob: str) -> Any:
     return pickle.loads(zlib.decompress(base64.b64decode(blob.encode("ascii"))))
+
+
+# -- authentication --------------------------------------------------------
+
+#: Environment variable carrying the per-campaign shared secret to agents.
+#: It travels through the agent's launch environment (local ``Popen`` env,
+#: ``env VAR=...`` on the SSH command line), never over the wire.
+SECRET_ENV = "REPRO_REMOTE_SECRET"
+
+#: Wall-clock budget for the whole handshake; a connecting peer that stalls
+#: mid-handshake must not pin a coordinator service thread forever.
+_HANDSHAKE_TIMEOUT_S = 10.0
+
+
+def _hmac_digest(secret: str, nonce: str) -> str:
+    return hmac.new(secret.encode("utf-8"), nonce.encode("utf-8"), "sha256").hexdigest()
+
+
+def server_handshake(sock: socket.socket, secret: str) -> bool:
+    """Coordinator side of the mutual HMAC challenge-response.
+
+    Runs before *any* payload-carrying frame is accepted: results are
+    pickled, so an unauthenticated peer that can send one ``result`` frame
+    can execute code in the coordinator. Returns ``False`` (caller closes
+    the socket) on a wrong or missing proof; never raises on a rude peer.
+    """
+    nonce = os.urandom(16).hex()
+    try:
+        sock.settimeout(_HANDSHAKE_TIMEOUT_S)
+        send_frame(sock, {"type": "challenge", "nonce": nonce})
+        reply = recv_frame(sock)
+        if (
+            not reply
+            or reply.get("type") != "auth"
+            or not isinstance(reply.get("digest"), str)
+            or not isinstance(reply.get("nonce"), str)
+            or not hmac.compare_digest(reply["digest"], _hmac_digest(secret, nonce))
+        ):
+            return False
+        # Prove knowledge of the secret back: the agent is about to accept
+        # pickled configs from us, so authentication is mutual.
+        send_frame(sock, {"type": "welcome", "digest": _hmac_digest(secret, reply["nonce"])})
+        sock.settimeout(None)
+        return True
+    except (OSError, ProtocolError, ValueError):
+        return False
+
+
+def client_handshake(sock: socket.socket, secret: str) -> bool:
+    """Agent side of the handshake; ``False`` means the peer failed to
+    prove it holds the campaign secret (or is not a coordinator at all)."""
+    nonce = os.urandom(16).hex()
+    try:
+        prior = sock.gettimeout()
+        sock.settimeout(_HANDSHAKE_TIMEOUT_S)
+        challenge = recv_frame(sock)
+        if not challenge or challenge.get("type") != "challenge":
+            return False
+        send_frame(
+            sock,
+            {
+                "type": "auth",
+                "digest": _hmac_digest(secret, str(challenge.get("nonce"))),
+                "nonce": nonce,
+            },
+        )
+        welcome = recv_frame(sock)
+        if (
+            not welcome
+            or welcome.get("type") != "welcome"
+            or not isinstance(welcome.get("digest"), str)
+            or not hmac.compare_digest(welcome["digest"], _hmac_digest(secret, nonce))
+        ):
+            return False
+        sock.settimeout(prior)
+        return True
+    except (OSError, ProtocolError, ValueError):
+        return False
 
 
 def callable_name(fn: Callable) -> str:
@@ -276,6 +375,10 @@ class _Task:
     lease_ids: set = field(default_factory=set)
     #: Last host a lease for this task ran on (failure attribution).
     last_host: Optional[str] = None
+    #: How many leases for this task blew their deadline. The first expiry
+    #: is ambiguous (wedged agent?) and charges the host; repeats mean the
+    #: configuration itself is slow and are charged to the config instead.
+    deadline_expiries: int = 0
 
 
 @dataclass
@@ -361,8 +464,9 @@ class Coordinator:
         hosts: Sequence[Union[str, HostSpec]] = (),
         *,
         stream=None,
-        bind_host: str = "127.0.0.1",
+        bind_host: Optional[str] = None,
         advertise_host: Optional[str] = None,
+        secret: Optional[str] = None,
         lease_timeout_s: float = 300.0,
         heartbeat_interval_s: float = 0.5,
         heartbeat_misses: int = 5,
@@ -378,8 +482,17 @@ class Coordinator:
     ):
         self._specs = merge_hosts(hosts)
         self.stream = stream
+        if bind_host is None:
+            # SSH-launched agents on other machines must be able to reach
+            # us: loopback only works for an all-local fleet.
+            bind_host = (
+                "127.0.0.1"
+                if all(spec.local for spec in self._specs)
+                else "0.0.0.0"
+            )
         self.bind_host = bind_host
         self.advertise_host = advertise_host
+        self.secret = secret if secret is not None else os.urandom(32).hex()
         self.lease_timeout_s = lease_timeout_s
         self.heartbeat_interval_s = heartbeat_interval_s
         self.heartbeat_misses = heartbeat_misses
@@ -426,6 +539,9 @@ class Coordinator:
         if self.advertise_host is None:
             if all(spec.local for spec in self._specs):
                 self.advertise_host = "127.0.0.1"
+            elif self.bind_host not in ("0.0.0.0", "::", "127.0.0.1", "localhost"):
+                # An explicit bind interface is also the reachable address.
+                self.advertise_host = self.bind_host
             else:
                 self.advertise_host = socket.gethostname()
         for target, label in (
@@ -519,6 +635,14 @@ class Coordinator:
             ).start()
 
     def _serve_connection(self, sock: socket.socket) -> None:
+        _enable_keepalive(sock)
+        if not server_handshake(sock, self.secret):
+            self._emit("[remote] rejected unauthenticated connection")
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            return
         try:
             hello = recv_frame(sock)
         except (OSError, ProtocolError, ValueError):
@@ -605,7 +729,7 @@ class Coordinator:
                 return
             task.done = True
             for other in task.lease_ids:
-                self._leases.pop(other, None)
+                self._drop_lease_locked(other)
             task.lease_ids.clear()
             del self._tasks[task.task_id]
             future = task.future
@@ -627,6 +751,20 @@ class Coordinator:
             future.set_result(value)
         else:
             future.set_exception(error)
+
+    def _drop_lease_locked(self, lease_id: int) -> None:
+        """Forget a lease *and* free its agent for new work.
+
+        A straggler race leaves the losing lease in its agent's
+        ``lease_ids``; popping only ``self._leases`` would make
+        :meth:`_free_agent_locked` treat that agent as busy forever.
+        """
+        lease = self._leases.pop(lease_id, None)
+        if lease is None:
+            return
+        agent = self._agents.get(lease.agent_id)
+        if agent is not None:
+            agent.lease_ids.discard(lease_id)
 
     def _rebuild_exception(self, frame: dict) -> Exception:
         """Reconstruct a remote exception; fall back to RemoteRepError.
@@ -736,7 +874,7 @@ class Coordinator:
 
     # -- failure handling --------------------------------------------------
 
-    def _lose_agent_locked(self, agent: _Agent, reason: str) -> None:
+    def _lose_agent_locked(self, agent: _Agent, reason: str, charge: bool = True) -> None:
         """Reclaim an agent's leases and charge its *host*, not any config."""
         if self._agents.get(agent.agent_id) is agent:
             del self._agents[agent.agent_id]
@@ -758,13 +896,22 @@ class Coordinator:
                 self.stats.reclaimed += 1
                 self._enqueue_locked(task)
         self._emit(f"[remote] agent {agent.agent_id} lost ({reason}); leases reclaimed")
-        self._host_failure_locked(agent.host, reason)
+        self._host_failure_locked(agent.host, reason, charge=charge)
         self._dispatch_locked()
 
-    def _host_failure_locked(self, hostname: str, reason: str) -> None:
+    def _host_failure_locked(self, hostname: str, reason: str, charge: bool = True) -> None:
         host = self._hosts.get(hostname)
         if host is None or self._closing:
             return  # externally managed agent: nothing to relaunch
+        if not charge:
+            # The agent must be replaced, but the fault belongs to a
+            # configuration (e.g. a repetition slower than any lease
+            # deadline), so the host accrues no quarantine pressure.
+            host.next_launch_at = max(
+                host.next_launch_at, time.monotonic() + self.relaunch_backoff_s
+            )
+            self._emit(f"[remote] host {hostname}: replacing agent (uncharged: {reason})")
+            return
         host.failures += 1
         host.last_error = reason
         if host.failures >= self.max_host_failures:
@@ -812,7 +959,28 @@ class Coordinator:
         for lease in list(self._leases.values()):
             if lease.reclaimed or now < lease.deadline:
                 continue
+            task = self._tasks.get(lease.task_id)
+            if task is not None and not task.done:
+                task.deadline_expiries += 1
             agent = self._agents.get(lease.agent_id)
+            if task is not None and not task.done and task.deadline_expiries >= 2:
+                # A second lease of the *same* repetition blew the deadline:
+                # the configuration is slow, not the fleet. Surface a
+                # RepTimeoutError (the Supervisor owns retries/quarantine
+                # for config-charged failures) and replace the agent
+                # without pushing its host toward quarantine.
+                self._settle(
+                    lease.lease_id,
+                    error=RepTimeoutError(
+                        f"repetition exceeded the {self.lease_timeout_s:.0f}s "
+                        f"lease deadline twice; charging the configuration"
+                    ),
+                )
+                if agent is not None:
+                    self._lose_agent_locked(
+                        agent, "lease expired on a slow repetition", charge=False
+                    )
+                continue
             if agent is not None:
                 self._lose_agent_locked(
                     agent,
@@ -820,7 +988,6 @@ class Coordinator:
                 )
             else:
                 lease.reclaimed = True
-                task = self._tasks.get(lease.task_id)
                 if task is not None and not task.done and not self._live_leases_locked(task):
                     self.stats.reclaimed += 1
                     self._enqueue_locked(task)
@@ -899,11 +1066,15 @@ class Coordinator:
             src = str(Path(__file__).resolve().parent.parent.parent)
             prior = env.get("PYTHONPATH")
             env["PYTHONPATH"] = src + (os.pathsep + prior if prior else "")
+            env[SECRET_ENV] = self.secret
             return subprocess.Popen(
                 [python] + argv, env=env, stdin=subprocess.DEVNULL
             )
         python = self.python or spec.python
-        remote_cmd = " ".join(shlex.quote(part) for part in [python] + argv)
+        remote_cmd = " ".join(
+            shlex.quote(part)
+            for part in ["env", f"{SECRET_ENV}={self.secret}", python] + argv
+        )
         return subprocess.Popen(
             ["ssh", "-o", "BatchMode=yes", spec.host, remote_cmd],
             stdin=subprocess.DEVNULL,
@@ -953,7 +1124,7 @@ class Coordinator:
             )
             exc.host = task.last_host or ",".join(self._hosts)
             for lease_id in task.lease_ids:
-                self._leases.pop(lease_id, None)
+                self._drop_lease_locked(lease_id)
             task.lease_ids.clear()
             del self._tasks[task.task_id]
             task.future.set_exception(exc)
@@ -987,6 +1158,24 @@ class Coordinator:
 
 
 # -- worker agent ----------------------------------------------------------
+
+
+def _enable_keepalive(sock: socket.socket) -> None:
+    """Arm TCP keepalive so a silently-dead peer (coordinator power loss,
+    partition with no RST) surfaces as a recv error within minutes instead
+    of leaving an idle agent blocked in ``recv`` on a remote machine
+    forever, never reaped."""
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+        for name, value in (
+            ("TCP_KEEPIDLE", 30),
+            ("TCP_KEEPINTVL", 10),
+            ("TCP_KEEPCNT", 6),
+        ):
+            if hasattr(socket, name):
+                sock.setsockopt(socket.IPPROTO_TCP, getattr(socket, name), value)
+    except OSError:  # pragma: no cover - platform without keepalive knobs
+        pass
 
 
 @dataclass
@@ -1076,6 +1265,14 @@ def agent_main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     host_part, _, port_part = args.connect.rpartition(":")
     address = (host_part, int(port_part))
+    secret = os.environ.get(SECRET_ENV)
+    if not secret:
+        print(
+            f"[agent {args.agent_id}] no campaign secret in ${SECRET_ENV}; "
+            f"refusing to connect (the coordinator exports it to launched agents)",
+            file=sys.stderr,
+        )
+        return 2
 
     global _RUNTIME
     held: deque = deque()  # frames computed but unsent across a partition
@@ -1093,8 +1290,25 @@ def agent_main(argv: Optional[List[str]] = None) -> int:
                 return 1
             time.sleep(min(10.0, args.reconnect_base * 2 ** (connect_failures - 1)))
             continue
-        connect_failures = 0
         sock.settimeout(None)
+        _enable_keepalive(sock)
+        if not client_handshake(sock, secret):
+            # A rejected handshake counts like a failed connect: a stale or
+            # wrong secret never fixes itself, so backoff bounds the retries.
+            try:
+                sock.close()
+            except OSError:
+                pass
+            connect_failures += 1
+            if connect_failures > args.reconnect_attempts:
+                print(
+                    f"[agent {args.agent_id}] coordinator refused authentication; giving up",
+                    file=sys.stderr,
+                )
+                return 1
+            time.sleep(min(10.0, args.reconnect_base * 2 ** (connect_failures - 1)))
+            continue
+        connect_failures = 0
         runtime = _RUNTIME = _AgentRuntime(sock=sock, send_lock=threading.Lock())
         stop = threading.Event()
         heartbeat = threading.Thread(
@@ -1154,5 +1368,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 2
 
 
-if __name__ == "__main__":
-    raise SystemExit(main())
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    # ``python -m repro.framework.remote`` executes this file as a module
+    # named ``__main__`` — a *duplicate* module object. Re-import the
+    # canonical module and run there, so process-global agent state
+    # (``_RUNTIME``) lives where run functions and chaos hooks that do
+    # ``from repro.framework import remote`` can actually see it.
+    from repro.framework.remote import main as _canonical_main
+
+    raise SystemExit(_canonical_main())

@@ -224,6 +224,9 @@ class Supervisor:
         self._quarantined = set()
         self._queue = deque()
         self._suspects = deque()
+        # Backends may tune themselves from the policy (the distributed
+        # backend keeps lease deadlines strictly above the rep timeout).
+        self.executor.observe_policy(self.policy)
         # A distributed "pool" spans machines: even one task must go through
         # the coordinator (the point may be to run it elsewhere), so only
         # local backends collapse small workloads to the serial path.

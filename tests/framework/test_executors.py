@@ -72,6 +72,27 @@ class TestMakeExecutor:
         with pytest.raises(ConfigError, match="at least one host"):
             DistributedExecutor(hosts=())
 
+    def test_observe_policy_floors_lease_timeout_above_rep_timeout(self):
+        # The lease deadline must strictly outlive the Supervisor's per-rep
+        # watchdog, so a slow repetition is charged to the config (retryable
+        # RepTimeoutError) and never to the host.
+        class Policy:
+            timeout_s = 400.0
+
+        executor = DistributedExecutor()
+        executor.observe_policy(Policy())
+        assert executor.coordinator_kwargs["lease_timeout_s"] == pytest.approx(500.0)
+        # An explicitly larger lease timeout is left alone...
+        executor = DistributedExecutor(lease_timeout_s=1000.0)
+        executor.observe_policy(Policy())
+        assert executor.coordinator_kwargs["lease_timeout_s"] == 1000.0
+        # ...a smaller one is raised to the floor.
+        executor = DistributedExecutor(lease_timeout_s=30.0)
+        executor.observe_policy(Policy())
+        assert executor.coordinator_kwargs["lease_timeout_s"] == pytest.approx(500.0)
+        # Local backends accept the announcement and ignore it.
+        PoolExecutor().observe_policy(Policy())
+
 
 class TestStartMethods:
     def test_spawn_pool_uses_spawn(self):

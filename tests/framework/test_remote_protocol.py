@@ -12,12 +12,13 @@ import time
 
 import pytest
 
-from repro.errors import ConfigError, HostLostError, ProtocolError
+from repro.errors import ConfigError, HostLostError, ProtocolError, RepTimeoutError
 from repro.framework.remote import (
     Coordinator,
     HostSpec,
     MAX_FRAME_BYTES,
     callable_name,
+    client_handshake,
     decode_obj,
     encode_obj,
     load_hosts_file,
@@ -178,8 +179,9 @@ def test_merge_hosts_accepts_mixed_specs_and_strings():
 class FakeAgent:
     """A scripted agent: real socket, no subprocess, test-controlled replies."""
 
-    def __init__(self, port: int, agent_id: str = "fake/0", host: str = "fake"):
-        self.sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+    def __init__(self, coord: Coordinator, agent_id: str = "fake/0", host: str = "fake"):
+        self.sock = socket.create_connection(("127.0.0.1", coord.port), timeout=5.0)
+        assert client_handshake(self.sock, coord.secret)
         send_frame(self.sock, {"type": "hello", "agent": agent_id, "host": host, "pid": 0})
 
     def recv(self, timeout: float = 5.0) -> dict:
@@ -217,7 +219,7 @@ def _wait(predicate, timeout=5.0):
 
 
 def test_coordinator_dispatches_lease_and_settles_result(coordinator):
-    agent = FakeAgent(coordinator.port)
+    agent = FakeAgent(coordinator)
     try:
         future = coordinator.submit(_sample_fn, "cfg", 7)
         lease = agent.recv()
@@ -235,7 +237,7 @@ def test_coordinator_dispatches_lease_and_settles_result(coordinator):
 
 
 def test_duplicate_result_is_discarded_idempotently(coordinator):
-    agent = FakeAgent(coordinator.port)
+    agent = FakeAgent(coordinator)
     try:
         future = coordinator.submit(_sample_fn, "cfg", 3)
         lease = agent.recv()
@@ -250,7 +252,7 @@ def test_duplicate_result_is_discarded_idempotently(coordinator):
 
 
 def test_unknown_lease_result_is_discarded(coordinator):
-    agent = FakeAgent(coordinator.port)
+    agent = FakeAgent(coordinator)
     try:
         agent.send({"type": "result", "lease": 424242, "payload": encode_obj(1)})
         assert _wait(lambda: coordinator.stats.duplicates_discarded == 1)
@@ -259,7 +261,7 @@ def test_unknown_lease_result_is_discarded(coordinator):
 
 
 def test_failure_frame_reconstructs_exception_with_host_attribution(coordinator):
-    agent = FakeAgent(coordinator.port, agent_id="nodeX/0", host="nodeX")
+    agent = FakeAgent(coordinator, agent_id="nodeX/0", host="nodeX")
     try:
         future = coordinator.submit(_sample_fn, "cfg", 5)
         lease = agent.recv()
@@ -282,7 +284,7 @@ def test_failure_frame_reconstructs_exception_with_host_attribution(coordinator)
 
 
 def test_unconstructible_remote_error_falls_back_to_remote_rep_error(coordinator):
-    agent = FakeAgent(coordinator.port)
+    agent = FakeAgent(coordinator)
     try:
         future = coordinator.submit(_sample_fn, "cfg", 5)
         lease = agent.recv()
@@ -309,13 +311,13 @@ def test_lost_agent_lease_is_reclaimed_and_redispatched():
         (), heartbeat_interval_s=60.0, lease_timeout_s=60.0,
         reconnect_grace_s=0.1, poll_interval_s=0.02,
     ).start()
-    first = FakeAgent(coord.port, agent_id="fake/0")
+    first = FakeAgent(coord, agent_id="fake/0")
     try:
         future = coord.submit(_sample_fn, "cfg", 9)
         lease = first.recv()
         first.close()  # dies mid-lease
         assert _wait(lambda: coord.stats.reclaimed == 1)
-        second = FakeAgent(coord.port, agent_id="fake/1")
+        second = FakeAgent(coord, agent_id="fake/1")
         try:
             redispatch = second.recv()
             # Same task, same seed: recovery is bit-identical by construction.
@@ -337,8 +339,8 @@ def test_straggler_duplicate_first_result_wins():
         (), heartbeat_interval_s=60.0, lease_timeout_s=60.0,
         straggler_after_s=0.1, poll_interval_s=0.02,
     ).start()
-    slow = FakeAgent(coord.port, agent_id="slow/0", host="slow")
-    fast = FakeAgent(coord.port, agent_id="fast/0", host="fast")
+    slow = FakeAgent(coord, agent_id="slow/0", host="slow")
+    fast = FakeAgent(coord, agent_id="fast/0", host="fast")
     try:
         future = coord.submit(_sample_fn, "cfg", 11)
         # One of the two idle agents gets the lease; the other goes idle and
@@ -388,7 +390,7 @@ def test_submit_after_shutdown_fails_fast_with_host_lost_error():
 
 def test_shutdown_sends_shutdown_frame_to_agents():
     coord = Coordinator(()).start()
-    agent = FakeAgent(coord.port)
+    agent = FakeAgent(coord)
     try:
         assert _wait(lambda: coord.stats is not None and len(coord._agents) == 1)
         coord.shutdown(wait=False)
@@ -396,3 +398,213 @@ def test_shutdown_sends_shutdown_frame_to_agents():
         assert frame["type"] == "shutdown"
     finally:
         agent.close()
+
+
+# -- authentication --------------------------------------------------------
+
+
+def test_wrong_secret_is_rejected_before_any_dispatch(coordinator):
+    future = coordinator.submit(_sample_fn, "cfg", 1)
+    sock = socket.create_connection(("127.0.0.1", coordinator.port), timeout=5.0)
+    try:
+        assert not client_handshake(sock, "not-the-campaign-secret")
+        # The impostor never registers: no agent, no lease, task still queued.
+        assert not _wait(lambda: coordinator._agents, timeout=0.3)
+        assert not future.done()
+    finally:
+        sock.close()
+    # A real agent still gets the work afterwards.
+    agent = FakeAgent(coordinator)
+    try:
+        lease = agent.recv()
+        agent.send({"type": "result", "lease": lease["lease"], "payload": encode_obj(2)})
+        assert future.result(timeout=5.0) == 2
+    finally:
+        agent.close()
+
+
+def test_unauthenticated_result_frame_is_never_processed(coordinator):
+    """A peer that skips the handshake and fires payload frames directly
+    must be dropped before any pickle is decoded (results are pickled, so
+    this is the unauthenticated-RCE surface)."""
+    future = coordinator.submit(_sample_fn, "cfg", 9)
+    sock = socket.create_connection(("127.0.0.1", coordinator.port), timeout=5.0)
+    try:
+        # Ignore the challenge; blast hello + a forged result straight away.
+        # (The second send may race the server's rejection and fail — fine.)
+        try:
+            send_frame(sock, {"type": "hello", "agent": "evil/0", "host": "evil", "pid": 0})
+            send_frame(sock, {"type": "result", "lease": 0, "payload": encode_obj("pwned")})
+        except OSError:
+            pass
+        # The coordinator rejects the connection (hello is not a valid auth
+        # proof) and the forged frame never reaches the dispatch path.
+        sock.settimeout(5.0)
+        assert _connection_terminated(sock)
+        assert not future.done()
+        assert coordinator.stats.settled == 0
+        assert not coordinator._agents
+    finally:
+        sock.close()
+
+
+def _connection_terminated(sock) -> bool:
+    """True once the peer hangs up (EOF or reset, within the timeout)."""
+    try:
+        while True:
+            if not sock.recv(4096):
+                return True
+    except socket.timeout:
+        return False
+    except OSError:
+        return True
+
+
+def test_handshake_digest_depends_on_secret_and_nonce():
+    from repro.framework.remote import _hmac_digest
+
+    assert _hmac_digest("s", "n") == _hmac_digest("s", "n")
+    assert _hmac_digest("s", "n") != _hmac_digest("s2", "n")
+    assert _hmac_digest("s", "n") != _hmac_digest("s", "n2")
+
+
+# -- bind/advertise address resolution --------------------------------------
+
+
+class _NoLaunchCoordinator(Coordinator):
+    """A coordinator that never launches agent processes, so non-local host
+    specs can drive address-resolution tests without touching ssh."""
+
+    def _launch_agent_locked(self, host):
+        pass
+
+
+def test_all_local_fleet_binds_loopback():
+    coord = _NoLaunchCoordinator(("localhost:2",)).start()
+    try:
+        assert coord.bind_host == "127.0.0.1"
+        assert coord._listener.getsockname()[0] == "127.0.0.1"
+        assert coord.advertise_host == "127.0.0.1"
+    finally:
+        coord.shutdown(wait=False)
+
+
+def test_nonlocal_hostspec_binds_all_interfaces_and_advertises_hostname():
+    # SSH-launched agents connect to advertise_host:port from another
+    # machine; a loopback-bound listener would strand every one of them.
+    coord = _NoLaunchCoordinator(("node1:8", "node2:8")).start()
+    try:
+        assert coord.bind_host == "0.0.0.0"
+        assert coord._listener.getsockname()[0] == "0.0.0.0"
+        assert coord.advertise_host == socket.gethostname()
+        # The wildcard bind is reachable on loopback too (and on every
+        # other interface of the machine, which is the point).
+        probe = socket.create_connection(("127.0.0.1", coord.port), timeout=5.0)
+        probe.close()
+    finally:
+        coord.shutdown(wait=False)
+
+
+def test_explicit_bind_host_is_respected_and_advertised():
+    coord = _NoLaunchCoordinator(("node1",), bind_host="0.0.0.0").start()
+    try:
+        assert coord._listener.getsockname()[0] == "0.0.0.0"
+        assert coord.advertise_host == socket.gethostname()
+    finally:
+        coord.shutdown(wait=False)
+    coord = _NoLaunchCoordinator((), bind_host="127.0.0.1", advertise_host="10.0.0.7").start()
+    try:
+        assert coord._listener.getsockname()[0] == "127.0.0.1"
+        assert coord.advertise_host == "10.0.0.7"
+    finally:
+        coord.shutdown(wait=False)
+
+
+# -- straggler-race capacity regression -------------------------------------
+
+
+def test_straggler_loser_remains_dispatchable_after_race():
+    """The losing agent of a straggler race must return to the idle pool:
+    its dead lease may not linger in its lease_ids and block dispatch."""
+    coord = Coordinator(
+        (), heartbeat_interval_s=60.0, lease_timeout_s=60.0,
+        straggler_after_s=0.1, poll_interval_s=0.02,
+    ).start()
+    first = FakeAgent(coord, agent_id="first/0", host="first")
+    second = FakeAgent(coord, agent_id="second/0", host="second")
+    try:
+        future = coord.submit(_sample_fn, "cfg", 5)
+        for agent in (first, second):
+            agent.sock.setblocking(False)
+        leases = {}
+        deadline = time.monotonic() + 5.0
+        while len(leases) < 2 and time.monotonic() < deadline:
+            for name, agent in (("first", first), ("second", second)):
+                if name in leases:
+                    continue
+                try:
+                    frame = recv_frame(agent.sock)
+                except (BlockingIOError, socket.timeout):
+                    continue
+                if frame is not None:
+                    leases[name] = frame
+            time.sleep(0.01)
+        assert len(leases) == 2, "straggler duplicate was never dispatched"
+        for agent in (first, second):
+            agent.sock.setblocking(True)
+        # `first` wins the race; `second` is the loser whose lease dies.
+        first.send(
+            {"type": "result", "lease": leases["first"]["lease"], "payload": encode_obj(10)}
+        )
+        assert future.result(timeout=5.0) == 10
+        # Both agents must be idle again: two fresh tasks must fan out one
+        # to each (the coordinator grants one lease per agent).
+        f_a = coord.submit(_sample_fn, "cfg", 6)
+        f_b = coord.submit(_sample_fn, "cfg", 7)
+        next_first = first.recv()
+        next_second = second.recv()  # hangs/times out if the loser leaks its lease
+        assert {next_first["seed"], next_second["seed"]} == {6, 7}
+        for agent, lease in ((first, next_first), (second, next_second)):
+            agent.send(
+                {"type": "result", "lease": lease["lease"],
+                 "payload": encode_obj(lease["seed"] * 2)}
+            )
+        assert f_a.result(timeout=5.0) == 12
+        assert f_b.result(timeout=5.0) == 14
+    finally:
+        first.close()
+        second.close()
+        coord.shutdown(wait=False, cancel_futures=True)
+
+
+# -- repeated lease expiry charges the config -------------------------------
+
+
+def test_repeated_lease_expiry_charges_config_not_host():
+    """One expiry is ambiguous (wedged agent -> host charged); a second
+    expiry of the same repetition means the config is slow: the rep fails
+    with RepTimeoutError and the host accrues no further quarantine
+    pressure."""
+    coord = _NoLaunchCoordinator(
+        ("node9",), heartbeat_interval_s=60.0, lease_timeout_s=0.3,
+        poll_interval_s=0.02, reconnect_grace_s=0.05,
+    ).start()
+    silent_a = FakeAgent(coord, agent_id="node9/0", host="node9")
+    try:
+        future = coord.submit(_sample_fn, "cfg", 4)
+        # First lease expires: host charged one failure, task re-queued.
+        assert _wait(lambda: coord.host_report()["node9"]["failures"] == 1)
+        silent_b = FakeAgent(coord, agent_id="node9/1", host="node9")
+        try:
+            # Second lease expires too: the configuration is charged.
+            exc = future.exception(timeout=5.0)
+            assert isinstance(exc, RepTimeoutError)
+            assert "twice" in str(exc)
+            # No second host failure for the repeat expiry.
+            assert coord.host_report()["node9"]["failures"] == 1
+            assert not coord.host_report()["node9"]["quarantined"]
+        finally:
+            silent_b.close()
+    finally:
+        silent_a.close()
+        coord.shutdown(wait=False, cancel_futures=True)
