@@ -2,14 +2,21 @@
 
 Usage::
 
-    python -m benchmarks.perf.run [--out BENCH_7.json] [--repeats 3] [--runs 5]
+    python -m benchmarks.perf.run [--out BENCH_9.json] [--repeats 3] [--runs 5]
 
 The output JSON holds the microbenchmark ops/sec, the end-to-end wall-clock
 and events/sec at the current ``REPRO_SCALE_MIB``, the many-flow population
 wall-clock at the current ``REPRO_FLOWS``, the execution-backend overhead
-comparison (forkserver vs spawn per-repetition cost), and — when the
-committed baseline records a pre-overhaul time for that scale — the speedup
-over the pre-PR engine.
+comparison (forkserver vs spawn per-repetition cost), the result-transport
+comparison (shared memory vs queue), and — when the committed baseline
+records a pre-overhaul time for that scale — the speedup over the pre-PR
+engine.
+
+Every record carries a ``build_mode`` column (``compiled`` or ``pure``, from
+``repro.build_info()``). When this process runs the compiled build, the
+suite re-times the event-engine microbenchmark and the e2e transfer in a
+``REPRO_PURE_PYTHON=1`` subprocess and records the cross-build speedups
+under ``pure_comparison`` (``--no-compare-pure`` skips it).
 
 The timed repetitions are real, deterministic experiment results, so they
 are also streamed into a :class:`~repro.framework.store.ResultStore`
@@ -21,21 +28,58 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import subprocess
+import sys
 from pathlib import Path
 
-from benchmarks.perf.backend import bench_backends
+from benchmarks.perf.backend import bench_backends, bench_transport
 from benchmarks.perf.e2e import bench_e2e, scale_mib
 from benchmarks.perf.manyflow import bench_manyflow, flow_count
 from benchmarks.perf.microbench import run_all
+from repro import build_info
 from repro.framework.store import ResultStore
 
 BASELINE_PATH = Path(__file__).parent / "baseline.json"
 
+#: Re-timed in the pure-build subprocess for the cross-build comparison.
+_PURE_PROBE = """\
+import json
+from benchmarks.perf.e2e import bench_e2e
+from benchmarks.perf.microbench import bench_event_throughput
+from repro import build_info
+
+assert build_info()["mode"] == "pure", build_info()
+print(json.dumps({
+    "event_throughput": bench_event_throughput(repeats=%d),
+    "e2e": bench_e2e(runs=%d),
+}))
+"""
+
+
+def _pure_comparison(repeats: int, runs: int) -> dict | None:
+    """Time the hot path under REPRO_PURE_PYTHON=1 in a subprocess."""
+    env = dict(os.environ)
+    env["REPRO_PURE_PYTHON"] = "1"
+    proc = subprocess.run(
+        [sys.executable, "-c", _PURE_PROBE % (repeats, runs)],
+        capture_output=True, text=True, env=env,
+    )
+    if proc.returncode != 0:
+        print(f"perf: pure-build probe failed:\n{proc.stderr}", file=sys.stderr)
+        return None
+    return json.loads(proc.stdout.splitlines()[-1])
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_7.json", help="output JSON path")
+    parser.add_argument("--out", default="BENCH_9.json", help="output JSON path")
+    parser.add_argument(
+        "--force", action="store_true",
+        help="overwrite an existing --out recorded under a different "
+        "schema/python/build",
+    )
     parser.add_argument(
         "--repeats", type=int, default=3, help="repetitions per microbenchmark"
     )
@@ -51,12 +95,50 @@ def main(argv: list[str] | None = None) -> int:
         help="repetitions of the backend-overhead sweep (0 skips the section)",
     )
     parser.add_argument(
+        "--transport-runs", type=int, default=3,
+        help="repetitions of the result-transport sweep (0 skips the section)",
+    )
+    parser.add_argument(
+        "--no-compare-pure", action="store_true",
+        help="skip the REPRO_PURE_PYTHON=1 cross-build comparison",
+    )
+    parser.add_argument(
         "--store", default="perf-session.sqlite",
         help="stream the benchmark repetitions into this SQLite result store, "
         "queryable with `repro query`/`repro report` ('' disables)",
     )
     args = parser.parse_args(argv)
+
+    build_mode = build_info()["mode"]
+    out = Path(args.out)
+    if out.exists() and not args.force:
+        # A BENCH record is a measurement artifact: silently replacing one
+        # taken under a different schema, interpreter, or build makes the
+        # committed history lie. Same-environment re-runs stay cheap.
+        try:
+            prior = json.loads(out.read_text())
+        except (OSError, ValueError):
+            prior = None
+        if isinstance(prior, dict):
+            mismatches = [
+                f"{key}: {prior.get(key)!r} -> {new!r}"
+                for key, new in (
+                    ("schema", 1),
+                    ("python", platform.python_version()),
+                    ("build_mode", build_mode),
+                )
+                if prior.get(key) != new
+            ]
+            if mismatches:
+                print(
+                    f"perf: refusing to overwrite {out} recorded under a "
+                    "different environment (" + "; ".join(mismatches) + "); "
+                    "pass --force to replace it",
+                    file=sys.stderr,
+                )
+                return 1
     store = ResultStore(args.store) if args.store else None
+    print(f"perf: build mode {build_mode}")
 
     print(f"perf: microbenchmarks (best of {args.repeats}) ...")
     micro = run_all(repeats=args.repeats)
@@ -84,6 +166,7 @@ def main(argv: list[str] | None = None) -> int:
     payload = {
         "schema": 1,
         "python": platform.python_version(),
+        "build_mode": build_mode,
         "micro": micro,
         "e2e": e2e,
         "manyflow": manyflow,
@@ -112,6 +195,38 @@ def main(argv: list[str] | None = None) -> int:
             f"ms/rep saved ({backend['forkserver_vs_spawn']['speedup']:.2f}x)"
         )
         payload["backend"] = backend
+
+    if args.transport_runs > 0:
+        print(f"perf: result-transport sweep (best of {args.transport_runs}) ...")
+        transport = bench_transport(runs=args.transport_runs)
+        for name, rec in transport["transports"].items():
+            print(f"  {name:12s} wall {rec['wall_s']:.3f}s  {rec['per_rep_ms']:.2f} ms/rep")
+        print(
+            f"  shm vs queue at {transport['payload_mib']} MiB payloads: "
+            f"{transport['shm_vs_queue']['saved_ms_per_rep']:+.2f} ms/rep saved "
+            f"({transport['shm_vs_queue']['speedup']:.2f}x)"
+        )
+        payload["transport"] = transport
+
+    if build_mode == "compiled" and not args.no_compare_pure:
+        print("perf: re-timing hot path under REPRO_PURE_PYTHON=1 ...")
+        pure = _pure_comparison(repeats=args.repeats, runs=min(args.runs, 3))
+        if pure is not None:
+            micro_ratio = (
+                micro["event_throughput"]["ops_per_sec"]
+                / pure["event_throughput"]["ops_per_sec"]
+            )
+            e2e_ratio = pure["e2e"]["wall_s"] / e2e["wall_s"]
+            payload["pure_comparison"] = {
+                "event_throughput_ops_per_sec": pure["event_throughput"]["ops_per_sec"],
+                "e2e_wall_s": pure["e2e"]["wall_s"],
+                "event_throughput_speedup": round(micro_ratio, 2),
+                "e2e_speedup": round(e2e_ratio, 2),
+            }
+            print(
+                f"  event_throughput: {micro_ratio:.2f}x over pure; "
+                f"e2e@{e2e['scale_mib']:g}MiB: {e2e_ratio:.2f}x"
+            )
 
     if BASELINE_PATH.exists():
         baseline = json.loads(BASELINE_PATH.read_text())

@@ -1,2 +1,62 @@
-from setuptools import setup
-setup()
+"""Build wiring for the optional compiled simulation core.
+
+The package is pure Python first: every build artifact here is optional and
+the library falls back to the pure modules (see ``repro/_build.py``) when
+nothing compiled is importable. Three outcomes, decided at build time:
+
+* A C toolchain is available → ``repro._speed._core`` (the hand-written
+  accelerator covering the event engine and QUIC varints) is compiled.
+* ``REPRO_SKIP_EXT=1`` is set, or no toolchain exists → the extension is
+  skipped (``optional=True`` keeps the install going) and the install is
+  pure Python.
+* A mypyc toolchain is importable *and* ``REPRO_MYPYC=1`` is set → the
+  typed hot modules listed in ``repro._build.COMPILED_SCOPE`` are compiled
+  in place by mypyc as well. This is opt-in because mypyc compiles modules
+  under their own import names, which bypasses the ``REPRO_PURE_PYTHON``
+  runtime escape hatch; the hand-written core is the default accelerator.
+
+Developer quickstart::
+
+    pip install -e .[compiled]          # builds _core when a compiler exists
+    python setup.py build_ext --inplace # same, for PYTHONPATH=src workflows
+    python -m repro --build-info        # verify what the process selected
+"""
+
+from __future__ import annotations
+
+import os
+
+from setuptools import Extension, setup
+
+
+def _truthy(name: str) -> bool:
+    return os.environ.get(name, "").strip() not in ("", "0")
+
+
+def _extensions() -> list:
+    if _truthy("REPRO_SKIP_EXT"):
+        return []
+    ext = Extension(
+        "repro._speed._core",
+        sources=["src/repro/_speed/_core.c"],
+        optional=True,  # no toolchain -> pure-Python install, not a failure
+    )
+    extensions = [ext]
+    if _truthy("REPRO_MYPYC"):
+        try:
+            from mypyc.build import mypycify
+        except ImportError:
+            print("setup.py: REPRO_MYPYC=1 but mypyc is not installed; "
+                  "building only the C core")
+        else:
+            from repro._build import COMPILED_SCOPE  # type: ignore
+
+            paths = [
+                os.path.join("src", *mod.split(".")) + ".py"
+                for mod in COMPILED_SCOPE
+            ]
+            extensions += mypycify(paths)
+    return extensions
+
+
+setup(ext_modules=_extensions())

@@ -12,6 +12,7 @@ Quick start::
     print(summary.describe())
 """
 
+from repro._build import build_info
 from repro.framework.cache import ResultCache
 from repro.framework.config import ExperimentConfig, NetworkConfig
 from repro.framework.experiment import Experiment, ExperimentResult, run_experiment
@@ -32,6 +33,7 @@ from repro.metrics import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "build_info",
     "ExperimentConfig",
     "NetworkConfig",
     "Experiment",

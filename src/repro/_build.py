@@ -1,0 +1,171 @@
+"""Build-mode registry: compiled accelerator selection with pure fallback.
+
+The simulator ships two interchangeable implementations of its hot path:
+
+* **pure** — the ordinary Python modules under ``repro/`` (always present).
+* **compiled** — an optional accelerator extension (``repro._speed._core``),
+  built by ``setup.py`` when a C toolchain (or mypyc/Cython) is available.
+
+This module decides, once per process and at import time, which build the
+process runs, and exposes the decision through :func:`build_info`. The
+rules, in order:
+
+1. ``REPRO_PURE_PYTHON=1`` in the environment forces the pure build — the
+   escape hatch for debugging, bisecting a suspected accelerator bug, or
+   pinning CI legs to the fallback path.
+2. If the compiled extension imports cleanly, the compiled build is used.
+3. If the extension is simply absent (never built), the pure build is used
+   silently — a source checkout without a compiler must behave exactly like
+   one, minus speed.
+4. If the extension is present but *broken* (an ``ImportError`` or any other
+   exception escaping its import), the pure build is used and a single
+   notice is printed to stderr — degraded, but never wrong.
+
+Correctness contract: the two builds are bit-identical. Golden fingerprints,
+cache keys, store ``content_fingerprint``\\ s, and journal grid keys never
+encode the build mode, so artifacts written under one build are readable —
+and byte-equal — under the other. The cross-build equality tests in
+``tests/framework/test_build_modes.py`` pin exactly that.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+from typing import Any, Dict, Optional
+
+__all__ = ["PURE_ENV", "build_info", "compiled_core", "describe"]
+
+#: Environment variable forcing the pure-Python build.
+PURE_ENV = "REPRO_PURE_PYTHON"
+
+#: Hot modules eligible for compilation, in package order. Mirrored by
+#: ``setup.py``'s mypyc module list and documented in DESIGN.md §7.
+COMPILED_SCOPE = (
+    "repro.sim.engine",
+    "repro.sim.clock",
+    "repro.sim.process",
+    "repro.sim.random",
+    "repro.net.bottleneck",
+    "repro.net.link",
+    "repro.net.nic",
+    "repro.net.packet",
+    "repro.net.tap",
+    "repro.quic.varint",
+    "repro.quic.ranges",
+    "repro.quic.frames",
+    "repro.quic.packet",
+    "repro.quic.ack",
+    "repro.quic.rtt",
+    "repro.pacing.base",
+    "repro.pacing.interval",
+    "repro.pacing.leaky_bucket",
+    "repro.pacing.null",
+    "repro.pacing.gso_policy",
+)
+
+_core: Optional[Any] = None
+_mode: Optional[str] = None
+_reason: str = ""
+#: Which hot modules actually bound a compiled implementation, recorded by
+#: :func:`register` as each module makes its import-time choice.
+_registry: Dict[str, str] = {}
+
+
+def _pure_forced() -> bool:
+    return os.environ.get(PURE_ENV, "").strip() not in ("", "0")
+
+
+def _load() -> None:
+    """Resolve the build mode once; idempotent."""
+    global _core, _mode, _reason
+    if _mode is not None:
+        return
+    if _pure_forced():
+        _mode, _reason = "pure", f"{PURE_ENV}={os.environ[PURE_ENV]} set"
+        return
+    try:
+        # import_module (not a from-import): an absent submodule must raise
+        # ModuleNotFoundError with a usable .name — the from-import form
+        # flattens it into a bare "cannot import name" ImportError, which
+        # would misclassify a plain source checkout as a broken artifact.
+        core = importlib.import_module("repro._speed._core")
+    except ModuleNotFoundError as exc:
+        if exc.name and exc.name.startswith("repro._speed"):
+            # Never built: the expected state of a plain source checkout.
+            _mode, _reason = "pure", "no compiled artifacts present"
+            return
+        # The extension exists but one of *its* imports is missing.
+        _mode = "pure"
+        _reason = f"compiled core failed to import: {exc!r}"
+        print(
+            f"repro: compiled core unavailable ({exc!r}); "
+            "falling back to pure Python",
+            file=sys.stderr,
+        )
+        return
+    except Exception as exc:  # broken artifact: degrade loudly, once
+        _mode = "pure"
+        _reason = f"compiled core failed to import: {exc!r}"
+        print(
+            f"repro: compiled core unavailable ({exc!r}); "
+            "falling back to pure Python",
+            file=sys.stderr,
+        )
+        return
+    _core = core
+    _mode = "compiled"
+    _reason = f"loaded {core.__name__}"
+
+
+def compiled_core() -> Optional[Any]:
+    """The accelerator module, or ``None`` when running pure."""
+    _load()
+    return _core
+
+
+def register(module: str, impl: str) -> None:
+    """Record which implementation a hot module bound at import time."""
+    _registry[module] = impl
+
+
+def build_info() -> Dict[str, Any]:
+    """Describe the build this process is running.
+
+    Returns a plain-JSON dict::
+
+        {"mode": "compiled" | "pure",
+         "reason": <why this mode was selected>,
+         "accelerator": <extension file path or None>,
+         "modules": {<hot module>: "compiled" | "pure", ...}}
+
+    The dict is observability only: nothing in it participates in cache
+    keys, fingerprints, or store identity.
+    """
+    _load()
+    modules = {name: _registry.get(name, "pure") for name in COMPILED_SCOPE}
+    modules.update(
+        {name: impl for name, impl in _registry.items() if name not in modules}
+    )
+    return {
+        "mode": _mode,
+        "reason": _reason,
+        "accelerator": getattr(_core, "__file__", None),
+        "modules": modules,
+    }
+
+
+def describe() -> str:
+    """One human-readable line per fact; the ``repro build-info`` output."""
+    info = build_info()
+    lines = [
+        f"mode: {info['mode']}",
+        f"reason: {info['reason']}",
+        f"accelerator: {info['accelerator'] or '-'}",
+    ]
+    compiled = sorted(n for n, i in info["modules"].items() if i == "compiled")
+    lines.append(f"compiled modules: {len(compiled)}")
+    for name in compiled:
+        lines.append(f"  {name}")
+    return "\n".join(lines)

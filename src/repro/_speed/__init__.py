@@ -1,0 +1,10 @@
+"""Optional compiled accelerators for the simulation hot path.
+
+This package holds the build products of ``setup.py`` — the hand-written C
+core (``_core``) and, when a mypyc toolchain is available, mypyc-compiled
+hot modules. A plain source checkout contains no artifacts here; importing
+``repro._speed._core`` then raises ``ModuleNotFoundError`` and
+``repro._build`` selects the pure-Python build silently.
+
+Nothing imports this package directly except :mod:`repro._build`.
+"""

@@ -1,0 +1,858 @@
+/* Compiled simulation core: C implementations of the hottest interpreter
+ * surfaces, selected at import time by repro._build and always shadowed by
+ * bit-identical pure-Python fallbacks.
+ *
+ *   - Simulator / EventHandle  (repro.sim.engine)
+ *   - varint_len / encode_varint / decode_varint  (repro.quic.varint)
+ *
+ * Correctness contract: observable behaviour (event order, clock values,
+ * error types and messages, counter semantics) is identical to the pure
+ * modules. Event ordering is decided by the (time, seq) key pair; seq is
+ * unique per simulator, so any correct binary min-heap pops in exactly the
+ * same total order as heapq does — the golden-fingerprint suite pins this
+ * across both builds.
+ *
+ * The heap here stores packed C structs (int64 time/seq + two object
+ * pointers) instead of Python tuples: scheduling allocates at most the
+ * *args tuple, and the run loop dispatches without tuple unpacking or
+ * sentinel isinstance checks.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+
+/* Exception classes borrowed from repro.errors at module init. */
+static PyObject *SimulationError;
+static PyObject *EncodingError;
+static PyObject *empty_tuple;
+static PyObject *noop_fn;
+
+/* ------------------------------------------------------------------ */
+/* EventHandle                                                         */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    long long time;
+    long long seq;
+    PyObject *fn;
+    PyObject *args;
+    char cancelled;
+} EventHandleObject;
+
+static PyTypeObject EventHandle_Type;
+
+static EventHandleObject *
+EventHandle_make(long long time, long long seq, PyObject *fn, PyObject *args)
+{
+    EventHandleObject *self =
+        PyObject_GC_New(EventHandleObject, &EventHandle_Type);
+    if (self == NULL)
+        return NULL;
+    self->time = time;
+    self->seq = seq;
+    Py_INCREF(fn);
+    self->fn = fn;
+    self->args = args; /* steals */
+    self->cancelled = 0;
+    PyObject_GC_Track((PyObject *)self);
+    return self;
+}
+
+static int
+EventHandle_traverse(EventHandleObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->fn);
+    Py_VISIT(self->args);
+    return 0;
+}
+
+static int
+EventHandle_clear(EventHandleObject *self)
+{
+    Py_CLEAR(self->fn);
+    Py_CLEAR(self->args);
+    return 0;
+}
+
+static void
+EventHandle_dealloc(EventHandleObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Py_XDECREF(self->fn);
+    Py_XDECREF(self->args);
+    PyObject_GC_Del(self);
+}
+
+static PyObject *
+EventHandle_cancel(EventHandleObject *self, PyObject *Py_UNUSED(ignored))
+{
+    /* Drop references so cancelled events don't pin objects in the heap;
+     * matches the pure implementation (fn -> no-op, args -> ()). */
+    self->cancelled = 1;
+    Py_INCREF(noop_fn);
+    Py_XSETREF(self->fn, noop_fn);
+    Py_INCREF(empty_tuple);
+    Py_XSETREF(self->args, empty_tuple);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+EventHandle_get_cancelled(EventHandleObject *self, void *closure)
+{
+    return PyBool_FromLong(self->cancelled);
+}
+
+static PyObject *
+EventHandle_repr(EventHandleObject *self)
+{
+    return PyUnicode_FromFormat(
+        "<EventHandle t=%lld seq=%lld %s>", self->time, self->seq,
+        self->cancelled ? "cancelled" : "pending");
+}
+
+static PyMethodDef EventHandle_methods[] = {
+    {"cancel", (PyCFunction)EventHandle_cancel, METH_NOARGS,
+     "Prevent the event from firing. Safe to call more than once."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyMemberDef EventHandle_members[] = {
+    {"time", T_LONGLONG, offsetof(EventHandleObject, time), READONLY, NULL},
+    {"seq", T_LONGLONG, offsetof(EventHandleObject, seq), READONLY, NULL},
+    {"fn", T_OBJECT_EX, offsetof(EventHandleObject, fn), READONLY, NULL},
+    {"args", T_OBJECT_EX, offsetof(EventHandleObject, args), READONLY, NULL},
+    {"_cancelled", T_BOOL, offsetof(EventHandleObject, cancelled), READONLY,
+     NULL},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyGetSetDef EventHandle_getset[] = {
+    {"cancelled", (getter)EventHandle_get_cancelled, NULL, NULL, NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyTypeObject EventHandle_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._speed._core.EventHandle",
+    .tp_basicsize = sizeof(EventHandleObject),
+    .tp_dealloc = (destructor)EventHandle_dealloc,
+    .tp_repr = (reprfunc)EventHandle_repr,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "A cancellable reference to a scheduled event.",
+    .tp_traverse = (traverseproc)EventHandle_traverse,
+    .tp_clear = (inquiry)EventHandle_clear,
+    .tp_methods = EventHandle_methods,
+    .tp_members = EventHandle_members,
+    .tp_getset = EventHandle_getset,
+};
+
+/* ------------------------------------------------------------------ */
+/* Simulator                                                           */
+/* ------------------------------------------------------------------ */
+
+/* One calendar entry. args == NULL marks a cancellable entry whose fn slot
+ * holds the EventHandle (mirrors the pure engine's (t, seq, handle, None)
+ * sentinel shape, without the per-event tuple). */
+typedef struct {
+    long long time;
+    long long seq;
+    PyObject *fn;
+    PyObject *args;
+} HeapEntry;
+
+typedef struct {
+    PyObject_HEAD
+    long long now;
+    long long seq;
+    long long events_processed;
+    char running;
+    HeapEntry *heap;
+    Py_ssize_t len;
+    Py_ssize_t cap;
+} SimulatorObject;
+
+#define ENTRY_LT(a, b) \
+    ((a).time < (b).time || ((a).time == (b).time && (a).seq < (b).seq))
+
+static int
+heap_reserve(SimulatorObject *self)
+{
+    if (self->len < self->cap)
+        return 0;
+    Py_ssize_t cap = self->cap ? self->cap * 2 : 64;
+    HeapEntry *heap = PyMem_Realloc(self->heap, cap * sizeof(HeapEntry));
+    if (heap == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    self->heap = heap;
+    self->cap = cap;
+    return 0;
+}
+
+/* Push (time, seq, fn, args); steals references to fn and args. */
+static int
+heap_push(SimulatorObject *self, long long time, long long seq, PyObject *fn,
+          PyObject *args)
+{
+    if (heap_reserve(self) < 0) {
+        Py_DECREF(fn);
+        Py_XDECREF(args);
+        return -1;
+    }
+    HeapEntry *heap = self->heap;
+    Py_ssize_t pos = self->len++;
+    HeapEntry item = {time, seq, fn, args};
+    while (pos > 0) {
+        Py_ssize_t parent = (pos - 1) >> 1;
+        if (!ENTRY_LT(item, heap[parent]))
+            break;
+        heap[pos] = heap[parent];
+        pos = parent;
+    }
+    heap[pos] = item;
+    return 0;
+}
+
+/* Pop the minimum into *out; caller owns the references in *out. */
+static void
+heap_pop(SimulatorObject *self, HeapEntry *out)
+{
+    HeapEntry *heap = self->heap;
+    *out = heap[0];
+    Py_ssize_t len = --self->len;
+    if (len == 0)
+        return;
+    HeapEntry item = heap[len];
+    Py_ssize_t pos = 0;
+    Py_ssize_t child = 1;
+    while (child < len) {
+        if (child + 1 < len && ENTRY_LT(heap[child + 1], heap[child]))
+            child += 1;
+        if (!ENTRY_LT(heap[child], item))
+            break;
+        heap[pos] = heap[child];
+        pos = child;
+        child = 2 * pos + 1;
+    }
+    heap[pos] = item;
+}
+
+static int
+Simulator_init(SimulatorObject *self, PyObject *args, PyObject *kwargs)
+{
+    if ((args && PyTuple_GET_SIZE(args)) || (kwargs && PyDict_GET_SIZE(kwargs))) {
+        PyErr_SetString(PyExc_TypeError, "Simulator() takes no arguments");
+        return -1;
+    }
+    return 0;
+}
+
+static int
+Simulator_traverse(SimulatorObject *self, visitproc visit, void *arg)
+{
+    for (Py_ssize_t i = 0; i < self->len; i++) {
+        Py_VISIT(self->heap[i].fn);
+        Py_VISIT(self->heap[i].args);
+    }
+    return 0;
+}
+
+static int
+Simulator_clear_heap(SimulatorObject *self)
+{
+    Py_ssize_t len = self->len;
+    self->len = 0;
+    for (Py_ssize_t i = 0; i < len; i++) {
+        Py_XDECREF(self->heap[i].fn);
+        Py_XDECREF(self->heap[i].args);
+    }
+    return 0;
+}
+
+static void
+Simulator_dealloc(SimulatorObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Simulator_clear_heap(self);
+    PyMem_Free(self->heap);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static long long
+as_longlong(PyObject *obj)
+{
+    /* Exact-int fast path; otherwise go through __index__ so Python
+     * subclasses of int still work. Floats are rejected (they are rejected
+     * downstream by the pure engine's integer timeline too). */
+    if (PyLong_CheckExact(obj))
+        return PyLong_AsLongLong(obj);
+    PyObject *idx = PyNumber_Index(obj);
+    if (idx == NULL)
+        return -1;
+    long long value = PyLong_AsLongLong(idx);
+    Py_DECREF(idx);
+    return value;
+}
+
+static PyObject *
+pack_tail(PyObject *args, Py_ssize_t start)
+{
+    Py_ssize_t n = PyTuple_GET_SIZE(args);
+    if (n == start) {
+        Py_INCREF(empty_tuple);
+        return empty_tuple;
+    }
+    return PyTuple_GetSlice(args, start, n);
+}
+
+static PyObject *
+Simulator_schedule(SimulatorObject *self, PyObject *args)
+{
+    if (PyTuple_GET_SIZE(args) < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule() requires delay_ns and fn");
+        return NULL;
+    }
+    long long delay = as_longlong(PyTuple_GET_ITEM(args, 0));
+    if (delay == -1 && PyErr_Occurred())
+        return NULL;
+    if (delay < 0)
+        return PyErr_Format(SimulationError,
+                            "cannot schedule %lldns in the past", delay);
+    PyObject *fn = PyTuple_GET_ITEM(args, 1);
+    PyObject *cargs = pack_tail(args, 2);
+    if (cargs == NULL)
+        return NULL;
+    Py_INCREF(fn);
+    if (heap_push(self, self->now + delay, self->seq++, fn, cargs) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Simulator_schedule_at(SimulatorObject *self, PyObject *args)
+{
+    if (PyTuple_GET_SIZE(args) < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule_at() requires time_ns and fn");
+        return NULL;
+    }
+    long long time = as_longlong(PyTuple_GET_ITEM(args, 0));
+    if (time == -1 && PyErr_Occurred())
+        return NULL;
+    if (time < self->now)
+        return PyErr_Format(SimulationError,
+                            "cannot schedule at %lldns, already at %lldns",
+                            time, self->now);
+    PyObject *fn = PyTuple_GET_ITEM(args, 1);
+    PyObject *cargs = pack_tail(args, 2);
+    if (cargs == NULL)
+        return NULL;
+    Py_INCREF(fn);
+    if (heap_push(self, time, self->seq++, fn, cargs) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Simulator_call_soon(SimulatorObject *self, PyObject *args)
+{
+    if (PyTuple_GET_SIZE(args) < 1) {
+        PyErr_SetString(PyExc_TypeError, "call_soon() requires fn");
+        return NULL;
+    }
+    PyObject *fn = PyTuple_GET_ITEM(args, 0);
+    PyObject *cargs = pack_tail(args, 1);
+    if (cargs == NULL)
+        return NULL;
+    Py_INCREF(fn);
+    if (heap_push(self, self->now, self->seq++, fn, cargs) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+schedule_cancellable_common(SimulatorObject *self, long long time,
+                            PyObject *args)
+{
+    PyObject *fn = PyTuple_GET_ITEM(args, 1);
+    PyObject *cargs = pack_tail(args, 2);
+    if (cargs == NULL)
+        return NULL;
+    long long seq = self->seq++;
+    EventHandleObject *handle = EventHandle_make(time, seq, fn, cargs);
+    if (handle == NULL) {
+        Py_DECREF(cargs);
+        return NULL;
+    }
+    Py_INCREF(handle);
+    if (heap_push(self, time, seq, (PyObject *)handle, NULL) < 0) {
+        Py_DECREF(handle);
+        return NULL;
+    }
+    return (PyObject *)handle;
+}
+
+static PyObject *
+Simulator_schedule_cancellable(SimulatorObject *self, PyObject *args)
+{
+    if (PyTuple_GET_SIZE(args) < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule_cancellable() requires delay_ns and fn");
+        return NULL;
+    }
+    long long delay = as_longlong(PyTuple_GET_ITEM(args, 0));
+    if (delay == -1 && PyErr_Occurred())
+        return NULL;
+    if (delay < 0)
+        return PyErr_Format(SimulationError,
+                            "cannot schedule %lldns in the past", delay);
+    return schedule_cancellable_common(self, self->now + delay, args);
+}
+
+static PyObject *
+Simulator_schedule_at_cancellable(SimulatorObject *self, PyObject *args)
+{
+    if (PyTuple_GET_SIZE(args) < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule_at_cancellable() requires time_ns and fn");
+        return NULL;
+    }
+    long long time = as_longlong(PyTuple_GET_ITEM(args, 0));
+    if (time == -1 && PyErr_Occurred())
+        return NULL;
+    if (time < self->now)
+        return PyErr_Format(SimulationError,
+                            "cannot schedule at %lldns, already at %lldns",
+                            time, self->now);
+    return schedule_cancellable_common(self, time, args);
+}
+
+static PyObject *
+Simulator_peek_time(SimulatorObject *self, PyObject *Py_UNUSED(ignored))
+{
+    while (self->len) {
+        HeapEntry *top = &self->heap[0];
+        if (top->args == NULL &&
+            ((EventHandleObject *)top->fn)->cancelled) {
+            HeapEntry dead;
+            heap_pop(self, &dead);
+            Py_DECREF(dead.fn);
+            continue;
+        }
+        return PyLong_FromLongLong(top->time);
+    }
+    Py_RETURN_NONE;
+}
+
+/* Pop the next live entry into (fn, args) with fresh references; returns
+ * 0 when found, 1 when the calendar ran dry. Sets self->now. */
+static int
+pop_live(SimulatorObject *self, long long until, int have_until,
+         PyObject **fn_out, PyObject **args_out)
+{
+    while (self->len) {
+        HeapEntry *top = &self->heap[0];
+        if (have_until && top->time > until)
+            return 1;
+        HeapEntry cur;
+        heap_pop(self, &cur);
+        if (cur.args == NULL) {
+            EventHandleObject *handle = (EventHandleObject *)cur.fn;
+            if (handle->cancelled) {
+                Py_DECREF(handle);
+                continue;
+            }
+            PyObject *fn = handle->fn;
+            PyObject *cargs = handle->args;
+            Py_INCREF(fn);
+            Py_INCREF(cargs);
+            Py_DECREF(handle);
+            self->now = cur.time;
+            *fn_out = fn;
+            *args_out = cargs;
+            return 0;
+        }
+        self->now = cur.time;
+        *fn_out = cur.fn;
+        *args_out = cur.args;
+        return 0;
+    }
+    return 1;
+}
+
+static PyObject *
+Simulator_step(SimulatorObject *self, PyObject *Py_UNUSED(ignored))
+{
+    PyObject *fn, *cargs;
+    if (pop_live(self, 0, 0, &fn, &cargs))
+        Py_RETURN_FALSE;
+    self->events_processed += 1;
+    PyObject *res = PyObject_CallObject(fn, cargs);
+    Py_DECREF(fn);
+    Py_DECREF(cargs);
+    if (res == NULL)
+        return NULL;
+    Py_DECREF(res);
+    Py_RETURN_TRUE;
+}
+
+static PyObject *
+Simulator_run(SimulatorObject *self, PyObject *args, PyObject *kwargs)
+{
+    static char *keywords[] = {"until", "max_events", NULL};
+    PyObject *until_obj = Py_None;
+    PyObject *max_obj = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwargs, "|OO:run", keywords,
+                                     &until_obj, &max_obj))
+        return NULL;
+    long long until = 0;
+    int have_until = 0;
+    if (until_obj != Py_None) {
+        until = as_longlong(until_obj);
+        if (until == -1 && PyErr_Occurred())
+            return NULL;
+        have_until = 1;
+    }
+    long long max_events = 0;
+    int have_max = 0;
+    if (max_obj != Py_None) {
+        max_events = as_longlong(max_obj);
+        if (max_events == -1 && PyErr_Occurred())
+            return NULL;
+        have_max = 1;
+    }
+    if (self->running) {
+        PyErr_SetString(SimulationError, "simulator is not reentrant");
+        return NULL;
+    }
+    self->running = 1;
+    long long processed = 0;
+    int failed = 0;
+    int hit_max = 0;
+    PyObject *fn, *cargs;
+    if (!have_max) {
+        /* The experiment hot loop: no per-event budget checks; the event
+         * counter is folded in once on exit (matching the pure engine's
+         * try/finally fold, including the exception path). */
+        while (!pop_live(self, until, have_until, &fn, &cargs)) {
+            processed += 1;
+            PyObject *res = PyObject_CallObject(fn, cargs);
+            Py_DECREF(fn);
+            Py_DECREF(cargs);
+            if (res == NULL) {
+                failed = 1;
+                break;
+            }
+            Py_DECREF(res);
+        }
+        self->events_processed += processed;
+    } else {
+        while (self->len) {
+            if (processed >= max_events) {
+                hit_max = 1;
+                break;
+            }
+            if (pop_live(self, until, have_until, &fn, &cargs))
+                break;
+            self->events_processed += 1;
+            processed += 1;
+            PyObject *res = PyObject_CallObject(fn, cargs);
+            Py_DECREF(fn);
+            Py_DECREF(cargs);
+            if (res == NULL) {
+                failed = 1;
+                break;
+            }
+            Py_DECREF(res);
+        }
+    }
+    self->running = 0;
+    if (failed)
+        return NULL;
+    /* Early return on the event budget skips the clock advance, exactly
+     * like the pure engine's `return` out of the bounded loop. */
+    if (!hit_max && have_until && until > self->now)
+        self->now = until;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Simulator_get_now(SimulatorObject *self, void *closure)
+{
+    return PyLong_FromLongLong(self->now);
+}
+
+static PyObject *
+Simulator_get_pending(SimulatorObject *self, void *closure)
+{
+    return PyLong_FromSsize_t(self->len);
+}
+
+static PyObject *
+Simulator_get_pending_live(SimulatorObject *self, void *closure)
+{
+    Py_ssize_t live = 0;
+    for (Py_ssize_t i = 0; i < self->len; i++) {
+        HeapEntry *entry = &self->heap[i];
+        if (entry->args != NULL ||
+            !((EventHandleObject *)entry->fn)->cancelled)
+            live += 1;
+    }
+    return PyLong_FromSsize_t(live);
+}
+
+static PyMethodDef Simulator_methods[] = {
+    {"schedule", (PyCFunction)Simulator_schedule, METH_VARARGS,
+     "Schedule fn(*args) to run delay_ns from now."},
+    {"schedule_at", (PyCFunction)Simulator_schedule_at, METH_VARARGS,
+     "Schedule fn(*args) at absolute time time_ns."},
+    {"call_soon", (PyCFunction)Simulator_call_soon, METH_VARARGS,
+     "Schedule fn(*args) at the current instant (after pending same-time "
+     "events)."},
+    {"schedule_cancellable", (PyCFunction)Simulator_schedule_cancellable,
+     METH_VARARGS, "Like schedule(), but returns a cancellable handle."},
+    {"schedule_at_cancellable",
+     (PyCFunction)Simulator_schedule_at_cancellable, METH_VARARGS,
+     "Like schedule_at(), but returns a cancellable handle."},
+    {"peek_time", (PyCFunction)Simulator_peek_time, METH_NOARGS,
+     "Time of the next live event, or None if the calendar is empty."},
+    {"step", (PyCFunction)Simulator_step, METH_NOARGS,
+     "Run the next live event. Returns False if there was none."},
+    {"run", (PyCFunction)Simulator_run, METH_VARARGS | METH_KEYWORDS,
+     "Run events until the calendar is empty, `until` is reached, or "
+     "`max_events` have been processed."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyMemberDef Simulator_members[] = {
+    {"events_processed", T_LONGLONG,
+     offsetof(SimulatorObject, events_processed), 0, NULL},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyGetSetDef Simulator_getset[] = {
+    {"now", (getter)Simulator_get_now, NULL,
+     "Current simulation time in nanoseconds.", NULL},
+    {"_now", (getter)Simulator_get_now, NULL, NULL, NULL},
+    {"pending", (getter)Simulator_get_pending, NULL,
+     "Number of events still in the calendar (including cancelled ones).",
+     NULL},
+    {"pending_live", (getter)Simulator_get_pending_live, NULL,
+     "Number of events still in the calendar, excluding cancelled ones.",
+     NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyTypeObject Simulator_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._speed._core.Simulator",
+    .tp_basicsize = sizeof(SimulatorObject),
+    .tp_dealloc = (destructor)Simulator_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC |
+                Py_TPFLAGS_BASETYPE,
+    .tp_doc = "The event calendar and simulated clock (compiled build).",
+    .tp_traverse = (traverseproc)Simulator_traverse,
+    .tp_clear = (inquiry)Simulator_clear_heap,
+    .tp_methods = Simulator_methods,
+    .tp_members = Simulator_members,
+    .tp_getset = Simulator_getset,
+    .tp_init = (initproc)Simulator_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
+/* QUIC varints (RFC 9000 §16)                                         */
+/* ------------------------------------------------------------------ */
+
+#define MAX_VARINT (((unsigned long long)1 << 62) - 1)
+
+/* Classify a Python int for varint encoding: 0 ok (value in *out),
+ * -1 error raised (negative / too large / not an int). */
+static int
+varint_value(PyObject *obj, unsigned long long *out)
+{
+    int overflow = 0;
+    long long value = PyLong_AsLongLongAndOverflow(obj, &overflow);
+    if (value == -1 && !overflow && PyErr_Occurred())
+        return -1;
+    if (overflow < 0 || (!overflow && value < 0)) {
+        PyErr_Format(EncodingError,
+                     "varint cannot encode negative value %S", obj);
+        return -1;
+    }
+    if (overflow > 0 || (unsigned long long)value > MAX_VARINT) {
+        PyErr_Format(EncodingError,
+                     "value %S exceeds varint maximum %llu", obj,
+                     MAX_VARINT);
+        return -1;
+    }
+    *out = (unsigned long long)value;
+    return 0;
+}
+
+static PyObject *
+core_varint_len(PyObject *Py_UNUSED(mod), PyObject *arg)
+{
+    unsigned long long value;
+    if (varint_value(arg, &value) < 0)
+        return NULL;
+    long len = value <= 0x3F ? 1 : value <= 0x3FFF ? 2
+               : value <= 0x3FFFFFFFULL ? 4 : 8;
+    return PyLong_FromLong(len);
+}
+
+static PyObject *
+core_encode_varint(PyObject *Py_UNUSED(mod), PyObject *arg)
+{
+    unsigned long long value;
+    if (varint_value(arg, &value) < 0)
+        return NULL;
+    unsigned char buf[8];
+    Py_ssize_t len;
+    if (value <= 0x3F) {
+        buf[0] = (unsigned char)value;
+        len = 1;
+    } else if (value <= 0x3FFF) {
+        value |= (unsigned long long)0x1 << 14;
+        buf[0] = (unsigned char)(value >> 8);
+        buf[1] = (unsigned char)value;
+        len = 2;
+    } else if (value <= 0x3FFFFFFFULL) {
+        value |= (unsigned long long)0x2 << 30;
+        buf[0] = (unsigned char)(value >> 24);
+        buf[1] = (unsigned char)(value >> 16);
+        buf[2] = (unsigned char)(value >> 8);
+        buf[3] = (unsigned char)value;
+        len = 4;
+    } else {
+        value |= (unsigned long long)0x3 << 62;
+        for (int i = 7; i >= 0; i--) {
+            buf[i] = (unsigned char)value;
+            value >>= 8;
+        }
+        len = 8;
+    }
+    return PyBytes_FromStringAndSize((const char *)buf, len);
+}
+
+static PyObject *
+core_decode_varint(PyObject *Py_UNUSED(mod), PyObject *args,
+                   PyObject *kwargs)
+{
+    static char *keywords[] = {"data", "offset", NULL};
+    PyObject *data;
+    Py_ssize_t offset = 0;
+    if (!PyArg_ParseTupleAndKeywords(args, kwargs, "O|n:decode_varint",
+                                     keywords, &data, &offset))
+        return NULL;
+    Py_buffer view;
+    if (PyObject_GetBuffer(data, &view, PyBUF_SIMPLE) < 0)
+        return NULL;
+    Py_ssize_t len = view.len;
+    const unsigned char *buf = view.buf;
+    /* Mirror Python sequence indexing for the (never-used-in-practice)
+     * negative-offset case. */
+    Py_ssize_t at = offset < 0 ? offset + len : offset;
+    if (offset >= len || at < 0) {
+        PyBuffer_Release(&view);
+        PyErr_SetString(EncodingError, "varint truncated: empty input");
+        return NULL;
+    }
+    unsigned char first = buf[at];
+    unsigned int prefix = first >> 6;
+    if (prefix == 0) {
+        PyBuffer_Release(&view);
+        return Py_BuildValue("in", (int)first, offset + 1);
+    }
+    Py_ssize_t need = (Py_ssize_t)1 << prefix;
+    if (at + need > len) {
+        PyBuffer_Release(&view);
+        return PyErr_Format(EncodingError,
+                            "varint truncated: need %zd bytes at offset %zd",
+                            need, offset);
+    }
+    unsigned long long value = first & 0x3F;
+    for (Py_ssize_t i = 1; i < need; i++)
+        value = (value << 8) | buf[at + i];
+    PyBuffer_Release(&view);
+    PyObject *value_obj = PyLong_FromUnsignedLongLong(value);
+    if (value_obj == NULL)
+        return NULL;
+    PyObject *result = Py_BuildValue("Nn", value_obj, offset + need);
+    return result;
+}
+
+/* ------------------------------------------------------------------ */
+/* Module                                                              */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+core_noop(PyObject *Py_UNUSED(mod), PyObject *Py_UNUSED(args))
+{
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef noop_def = {
+    "_noop", (PyCFunction)core_noop, METH_VARARGS,
+    "Replacement callable for cancelled events."};
+
+static PyMethodDef core_methods[] = {
+    {"varint_len", (PyCFunction)core_varint_len, METH_O,
+     "Encoded length in bytes of ``value``."},
+    {"encode_varint", (PyCFunction)core_encode_varint, METH_O,
+     "Encode ``value`` as a QUIC varint."},
+    {"decode_varint", (PyCFunction)core_decode_varint,
+     METH_VARARGS | METH_KEYWORDS,
+     "Decode a varint at ``offset``; returns ``(value, new_offset)``."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef core_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro._speed._core",
+    .m_doc = "Compiled simulation core (event engine + QUIC varints).",
+    .m_size = -1,
+    .m_methods = core_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__core(void)
+{
+    PyObject *errors = PyImport_ImportModule("repro.errors");
+    if (errors == NULL)
+        return NULL;
+    SimulationError = PyObject_GetAttrString(errors, "SimulationError");
+    EncodingError = PyObject_GetAttrString(errors, "EncodingError");
+    Py_DECREF(errors);
+    if (SimulationError == NULL || EncodingError == NULL)
+        return NULL;
+    empty_tuple = PyTuple_New(0);
+    if (empty_tuple == NULL)
+        return NULL;
+    noop_fn = PyCFunction_New(&noop_def, NULL);
+    if (noop_fn == NULL)
+        return NULL;
+    if (PyType_Ready(&EventHandle_Type) < 0 ||
+        PyType_Ready(&Simulator_Type) < 0)
+        return NULL;
+    PyObject *mod = PyModule_Create(&core_module);
+    if (mod == NULL)
+        return NULL;
+    Py_INCREF(&Simulator_Type);
+    if (PyModule_AddObject(mod, "Simulator",
+                           (PyObject *)&Simulator_Type) < 0)
+        return NULL;
+    Py_INCREF(&EventHandle_Type);
+    if (PyModule_AddObject(mod, "EventHandle",
+                           (PyObject *)&EventHandle_Type) < 0)
+        return NULL;
+    if (PyModule_AddObject(mod, "_noop", Py_NewRef(noop_fn)) < 0)
+        return NULL;
+    if (PyModule_AddStringConstant(mod, "BUILD", "c-accelerator") < 0)
+        return NULL;
+    return mod;
+}

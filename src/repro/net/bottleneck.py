@@ -10,9 +10,9 @@ dropped — these are the "dropped packets" of Tables 1 and 2.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
-from repro.net.packet import Datagram, PacketSink
+from repro.net.packet import Datagram, FlowTuple, PacketSink
 from repro.sim.engine import Simulator
 from repro.units import SEC, tx_time_ns
 
@@ -38,35 +38,35 @@ class Bottleneck:
         ecn_mark_threshold_bytes: Optional[int] = None,
         sink: Optional[PacketSink] = None,
     ):
-        self.sim = sim
-        self.name = name
-        self.rate_bps = rate_bps
-        self.queue_limit_bytes = queue_limit_bytes
-        self.burst_bytes = burst_bytes
-        self.delay_ns = delay_ns
+        self.sim: Simulator = sim
+        self.name: str = name
+        self.rate_bps: int = rate_bps
+        self.queue_limit_bytes: int = queue_limit_bytes
+        self.burst_bytes: int = burst_bytes
+        self.delay_ns: int = delay_ns
         #: When set, ECN-capable packets arriving to a queue deeper than this
         #: are marked CE instead of waiting for a tail drop.
-        self.ecn_mark_threshold_bytes = ecn_mark_threshold_bytes
-        self.sink = sink
+        self.ecn_mark_threshold_bytes: Optional[int] = ecn_mark_threshold_bytes
+        self.sink: Optional[PacketSink] = sink
 
         self._queue: deque[Datagram] = deque()
-        self._queue_bytes = 0
-        self._tokens = float(burst_bytes)
-        self._last_refill_ns = 0
-        self._drain_scheduled = False
+        self._queue_bytes: int = 0
+        self._tokens: float = float(burst_bytes)
+        self._last_refill_ns: int = 0
+        self._drain_scheduled: bool = False
         #: Generation stamp carried by scheduled drains; ``set_rate`` bumps it
         #: to invalidate a pending drain without a cancellable heap entry.
-        self._drain_gen = 0
+        self._drain_gen: int = 0
 
-        self.dropped = 0
-        self.forwarded = 0
-        self.bytes_forwarded = 0
-        self.ce_marked = 0
+        self.dropped: int = 0
+        self.forwarded: int = 0
+        self.bytes_forwarded: int = 0
+        self.ce_marked: int = 0
         #: Per-flow drop counts (multi-flow experiments).
-        self.drops_by_flow: dict = {}
+        self.drops_by_flow: Dict[FlowTuple, int] = {}
         #: (time_ns, queue_bytes) samples at every enqueue/dequeue, for plots.
-        self.queue_trace: list[tuple[int, int]] = []
-        self.trace_queue = False
+        self.queue_trace: List[Tuple[int, int]] = []
+        self.trace_queue: bool = False
 
     # -- token accounting -------------------------------------------------
 

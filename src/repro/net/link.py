@@ -27,15 +27,15 @@ class Link:
         propagation_ns: int = 0,
         sink: Optional[PacketSink] = None,
     ):
-        self.sim = sim
-        self.name = name
-        self.rate_bps = rate_bps
-        self.propagation_ns = propagation_ns
-        self.sink = sink
+        self.sim: Simulator = sim
+        self.name: str = name
+        self.rate_bps: int = rate_bps
+        self.propagation_ns: int = propagation_ns
+        self.sink: Optional[PacketSink] = sink
         self._queue: deque[Datagram] = deque()
-        self._busy = False
-        self.frames_sent = 0
-        self.bytes_sent = 0
+        self._busy: bool = False
+        self.frames_sent: int = 0
+        self.bytes_sent: int = 0
 
     def receive(self, dgram: Datagram) -> None:
         """Accept a frame for transmission (queues if the link is busy)."""

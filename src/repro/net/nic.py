@@ -30,15 +30,15 @@ class Nic:
         launchtime_precision_ns: int = 50,
         rng: Optional[random.Random] = None,
     ):
-        self.sim = sim
-        self.name = name
-        self.link = link
-        self.launchtime = launchtime
-        self.launchtime_precision_ns = launchtime_precision_ns
-        self.rng = rng or random.Random(0)
-        self.frames_held = 0
-        self.frames_sent = 0
-        self._last_launch_at = 0
+        self.sim: Simulator = sim
+        self.name: str = name
+        self.link: Link = link
+        self.launchtime: bool = launchtime
+        self.launchtime_precision_ns: int = launchtime_precision_ns
+        self.rng: random.Random = rng or random.Random(0)
+        self.frames_held: int = 0
+        self.frames_sent: int = 0
+        self._last_launch_at: int = 0
 
     def receive(self, dgram: Datagram) -> None:
         if self.launchtime and dgram.txtime_ns is not None and dgram.txtime_ns > self.sim.now:

@@ -10,14 +10,14 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional, Protocol, Tuple
+from typing import Any, Final, Optional, Protocol, Tuple
 
 #: Ethernet + IPv4 + UDP header bytes added to a UDP payload on the wire.
-ETHERNET_OVERHEAD = 14 + 20 + 8
+ETHERNET_OVERHEAD: Final[int] = 14 + 20 + 8
 
 #: Extra per-frame wire framing that consumes link time but is not captured
 #: in the IP length: preamble (8) + FCS (4) + inter-frame gap (12).
-WIRE_FRAMING = 24
+WIRE_FRAMING: Final[int] = 24
 
 _dgram_ids = itertools.count()
 

@@ -21,14 +21,14 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Final, Iterable, List, Optional, Tuple
 
 from repro.net.packet import ETHERNET_OVERHEAD, Datagram, FlowTuple, PacketSink
 from repro.sim.engine import Simulator
 
 #: Column sentinel for "field was None" (packet_number, gso_id). Both fields
 #: are non-negative whenever present, so -1 is unambiguous.
-_NONE = -1
+_NONE: Final[int] = -1
 
 
 @dataclass(frozen=True)
@@ -66,20 +66,20 @@ class CaptureColumns:
     )
 
     def __init__(self, flows: Optional[List[FlowTuple]] = None):
-        self.time_ns = array("q")
-        self.wire_size = array("q")
-        self.payload_size = array("q")
-        self.packet_number = array("q")
-        self.dgram_id = array("q")
-        self.gso_id = array("q")
-        self.flow_index = array("q")
+        self.time_ns: "array[int]" = array("q")
+        self.wire_size: "array[int]" = array("q")
+        self.payload_size: "array[int]" = array("q")
+        self.packet_number: "array[int]" = array("q")
+        self.dgram_id: "array[int]" = array("q")
+        self.gso_id: "array[int]" = array("q")
+        self.flow_index: "array[int]" = array("q")
         #: Interned flow tuples; ``flow_index`` rows point into this list.
         self.flows: List[FlowTuple] = flows if flows is not None else []
 
     def __len__(self) -> int:
         return len(self.time_ns)
 
-    def select(self, indices) -> "CaptureColumns":
+    def select(self, indices: Iterable[int]) -> "CaptureColumns":
         """New columns holding only the given rows (shared flow table)."""
         out = CaptureColumns(flows=self.flows)
         for name in (
@@ -118,8 +118,8 @@ class Sniffer:
     """Accumulates captures, in arrival order, as columnar arrays."""
 
     def __init__(self, name: str = "sniffer"):
-        self.name = name
-        self.columns = CaptureColumns()
+        self.name: str = name
+        self.columns: CaptureColumns = CaptureColumns()
         self._flow_ids: Dict[FlowTuple, int] = {}
         self._records = _RecordsView()
         #: Per-source-address row indices, maintained at capture time so
@@ -191,9 +191,9 @@ class FiberTap:
     """Zero-delay pass-through that mirrors every frame to a sniffer."""
 
     def __init__(self, sim: Simulator, sniffer: Sniffer, sink: Optional[PacketSink] = None):
-        self.sim = sim
-        self.sniffer = sniffer
-        self.sink = sink
+        self.sim: Simulator = sim
+        self.sniffer: Sniffer = sniffer
+        self.sink: Optional[PacketSink] = sink
 
     def receive(self, dgram: Datagram) -> None:
         self.sniffer.capture(self.sim.now, dgram)

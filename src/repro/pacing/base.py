@@ -12,7 +12,7 @@ class Pacer:
     """Base pacer."""
 
     def __init__(self, rate_bps: int = 1_000_000):
-        self._rate_bps = max(rate_bps, 1)
+        self._rate_bps: int = max(rate_bps, 1)
 
     @property
     def rate_bps(self) -> int:

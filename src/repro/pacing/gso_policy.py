@@ -9,6 +9,7 @@ recovers per-packet spacing inside the kernel while keeping the batching.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Final
 
 
 @dataclass(frozen=True)
@@ -30,6 +31,6 @@ class GsoPolicy:
 
 
 #: Convenience presets used by experiment configs.
-GSO_DISABLED = GsoPolicy(enabled=False)
-GSO_ENABLED = GsoPolicy(enabled=True, max_segments=10)
-GSO_PACED = GsoPolicy(enabled=True, max_segments=10, paced=True)
+GSO_DISABLED: Final[GsoPolicy] = GsoPolicy(enabled=False)
+GSO_ENABLED: Final[GsoPolicy] = GsoPolicy(enabled=True, max_segments=10)
+GSO_PACED: Final[GsoPolicy] = GsoPolicy(enabled=True, max_segments=10, paced=True)

@@ -15,6 +15,8 @@ longer idle periods reset the schedule without banking credit.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.pacing.base import Pacer
 from repro.units import ms
 
@@ -27,10 +29,10 @@ class IntervalPacer(Pacer):
         catchup_horizon_ns: int = ms(2),
     ):
         super().__init__(rate_bps)
-        self.burst_budget_bytes = burst_budget_bytes
-        self.catchup_horizon_ns = catchup_horizon_ns
-        self._next_time: int | None = None
-        self._burst_left = burst_budget_bytes
+        self.burst_budget_bytes: int = burst_budget_bytes
+        self.catchup_horizon_ns: int = catchup_horizon_ns
+        self._next_time: Optional[int] = None
+        self._burst_left: int = burst_budget_bytes
 
     def release_time(self, now_ns: int, size_bytes: int) -> int:
         if self._next_time is None or now_ns >= self._next_time:

@@ -17,9 +17,9 @@ from repro.units import SEC
 class LeakyBucketPacer(Pacer):
     def __init__(self, rate_bps: int = 1_000_000, bucket_max_bytes: int = 16 * 1280):
         super().__init__(rate_bps)
-        self.bucket_max_bytes = bucket_max_bytes
-        self._credit = float(bucket_max_bytes)
-        self._last_update = 0
+        self.bucket_max_bytes: int = bucket_max_bytes
+        self._credit: float = float(bucket_max_bytes)
+        self._last_update: int = 0
 
     def _accrue(self, now_ns: int) -> None:
         if now_ns > self._last_update:

@@ -8,25 +8,25 @@ observed. Tracks received packet numbers as ranges for the ACK frame.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Final, List, Optional, Tuple
 
 from repro.quic.frames import ACK_DELAY_EXPONENT, AckFrame
 from repro.units import ms
 
-MAX_ACK_RANGES = 10
+MAX_ACK_RANGES: Final[int] = 10
 
 
 class AckManager:
     def __init__(self, max_ack_delay_ns: int = ms(25), ack_eliciting_threshold: int = 2):
-        self.max_ack_delay_ns = max_ack_delay_ns
-        self.ack_eliciting_threshold = ack_eliciting_threshold
+        self.max_ack_delay_ns: int = max_ack_delay_ns
+        self.ack_eliciting_threshold: int = ack_eliciting_threshold
         self._ranges: List[List[int]] = []  # sorted [lo, hi], ascending
         self._largest_time: int = 0
         self._largest: int = -1
-        self._unacked_eliciting = 0
+        self._unacked_eliciting: int = 0
         self._ack_deadline: Optional[int] = None
-        self._immediate = False
-        self.duplicates = 0
+        self._immediate: bool = False
+        self.duplicates: int = 0
 
     # -- recording -----------------------------------------------------------
 

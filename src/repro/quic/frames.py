@@ -8,32 +8,32 @@ on the wire.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Final, List, Optional, Sequence, Tuple
 
 from repro.errors import EncodingError
 from repro.quic.varint import decode_varint, encode_varint, varint_len
 
-ACK_DELAY_EXPONENT = 3  # default per RFC 9000
+ACK_DELAY_EXPONENT: Final[int] = 3  # default per RFC 9000
 
-TYPE_PADDING = 0x00
-TYPE_PING = 0x01
-TYPE_ACK = 0x02
-TYPE_ACK_ECN = 0x03
-TYPE_CRYPTO = 0x06
-TYPE_STREAM_BASE = 0x08  # 0x08..0x0f with OFF/LEN/FIN bits
-TYPE_MAX_DATA = 0x10
-TYPE_MAX_STREAM_DATA = 0x11
-TYPE_DATA_BLOCKED = 0x14
-TYPE_STREAM_DATA_BLOCKED = 0x15
-TYPE_CONNECTION_CLOSE = 0x1C
-TYPE_HANDSHAKE_DONE = 0x1E
+TYPE_PADDING: Final[int] = 0x00
+TYPE_PING: Final[int] = 0x01
+TYPE_ACK: Final[int] = 0x02
+TYPE_ACK_ECN: Final[int] = 0x03
+TYPE_CRYPTO: Final[int] = 0x06
+TYPE_STREAM_BASE: Final[int] = 0x08  # 0x08..0x0f with OFF/LEN/FIN bits
+TYPE_MAX_DATA: Final[int] = 0x10
+TYPE_MAX_STREAM_DATA: Final[int] = 0x11
+TYPE_DATA_BLOCKED: Final[int] = 0x14
+TYPE_STREAM_DATA_BLOCKED: Final[int] = 0x15
+TYPE_CONNECTION_CLOSE: Final[int] = 0x1C
+TYPE_HANDSHAKE_DONE: Final[int] = 0x1E
 
 
 class Frame:
     """Base frame."""
 
     #: Frames that count as ack-eliciting (everything except ACK/PADDING/CLOSE).
-    ack_eliciting = True
+    ack_eliciting: bool = True
 
     def encode(self) -> bytes:  # pragma: no cover - abstract
         raise NotImplementedError

@@ -17,20 +17,20 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, Final, List, Sequence
 
 from repro.errors import EncodingError
 from repro.quic.frames import Frame, parse_frames
 from repro.quic.varint import decode_varint, encode_varint
 
-AEAD_TAG_LEN = 16
-PACKET_NUMBER_LEN = 4
-CONNECTION_ID_LEN = 8
-QUIC_VERSION = 0x00000001
+AEAD_TAG_LEN: Final[int] = 16
+PACKET_NUMBER_LEN: Final[int] = 4
+CONNECTION_ID_LEN: Final[int] = 8
+QUIC_VERSION: Final[int] = 0x00000001
 
 #: Default max UDP payload (paper setups use ~1252-byte QUIC packets on a
 #: 1500-byte MTU path with IPv4).
-DEFAULT_MAX_UDP_PAYLOAD = 1252
+DEFAULT_MAX_UDP_PAYLOAD: Final[int] = 1252
 
 
 class PacketType(enum.Enum):
@@ -43,11 +43,17 @@ class PacketType(enum.Enum):
         return self is not PacketType.ONE_RTT
 
 
-_LONG_TYPE_BITS = {PacketType.INITIAL: 0x0, PacketType.HANDSHAKE: 0x2}
-_LONG_TYPE_FROM_BITS = {v: k for k, v in _LONG_TYPE_BITS.items()}
+_LONG_TYPE_BITS: Final[Dict[PacketType, int]] = {
+    PacketType.INITIAL: 0x0, PacketType.HANDSHAKE: 0x2
+}
+_LONG_TYPE_FROM_BITS: Final[Dict[int, PacketType]] = {
+    v: k for k, v in _LONG_TYPE_BITS.items()
+}
 
 
-_SHORT_HEADER_OVERHEAD = 1 + CONNECTION_ID_LEN + PACKET_NUMBER_LEN + AEAD_TAG_LEN
+_SHORT_HEADER_OVERHEAD: Final[int] = (
+    1 + CONNECTION_ID_LEN + PACKET_NUMBER_LEN + AEAD_TAG_LEN
+)
 
 
 def short_header_overhead() -> int:

@@ -33,14 +33,14 @@ class RangeSet:
         if start > last[1]:
             ranges.append([start, end])
             return end - start
-        starts = [r[0] for r in ranges]
-        i = bisect_left(starts, start)
+        starts: List[int] = [r[0] for r in ranges]
+        i: int = bisect_left(starts, start)
         # The predecessor may overlap or touch.
         if i > 0 and ranges[i - 1][1] >= start:
             i -= 1
         new_start, new_end = start, end
-        added = end - start
-        j = i
+        added: int = end - start
+        j: int = i
         while j < len(ranges) and ranges[j][0] <= new_end:
             lo, hi = ranges[j]
             added -= _overlap(start, end, lo, hi)

@@ -2,21 +2,23 @@
 
 from __future__ import annotations
 
+from typing import Final
+
 from repro.units import ms
 
 
 class RttEstimator:
     """Tracks latest/min/smoothed RTT and RTT variance (all nanoseconds)."""
 
-    INITIAL_RTT = ms(333)
+    INITIAL_RTT: Final[int] = ms(333)
 
     def __init__(self, max_ack_delay_ns: int = ms(25)):
-        self.max_ack_delay_ns = max_ack_delay_ns
-        self.latest_rtt = 0
-        self.min_rtt = 0
-        self.smoothed_rtt = self.INITIAL_RTT
-        self.rttvar = self.INITIAL_RTT // 2
-        self._has_sample = False
+        self.max_ack_delay_ns: int = max_ack_delay_ns
+        self.latest_rtt: int = 0
+        self.min_rtt: int = 0
+        self.smoothed_rtt: int = self.INITIAL_RTT
+        self.rttvar: int = self.INITIAL_RTT // 2
+        self._has_sample: bool = False
 
     @property
     def has_sample(self) -> bool:

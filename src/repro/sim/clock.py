@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
+from typing import Final
 
 from repro.units import us
 
@@ -61,8 +62,8 @@ class TimerModel:
     def fire_time(self, requested_ns: int, now_ns: int, rng: random.Random) -> int:
         """Actual time the wake-up lands, given it was requested for
         ``requested_ns`` while the clock reads ``now_ns``."""
-        t = requested_ns if requested_ns > now_ns else now_ns
-        gran = self.granularity_ns
+        t: int = requested_ns if requested_ns > now_ns else now_ns
+        gran: int = self.granularity_ns
         if gran > 1:
             # Timers can only fire on grid points; round up.
             t = -(-t // gran) * gran
@@ -71,13 +72,13 @@ class TimerModel:
 
 
 #: An idealized timer: fires exactly when requested.
-PERFECT_TIMER = TimerModel()
+PERFECT_TIMER: Final[TimerModel] = TimerModel()
 
 #: A typical high-resolution event loop (epoll + timerfd) on a busy host:
 #: ~4 µs median wake-up latency with a moderate tail.
-HIGHRES_TIMER = TimerModel(overhead_ns=us(2), jitter=JitterModel(median_ns=us(4), sigma=0.6))
+HIGHRES_TIMER: Final[TimerModel] = TimerModel(overhead_ns=us(2), jitter=JitterModel(median_ns=us(4), sigma=0.6))
 
 #: A coarse millisecond-granularity loop (poll with ms timeouts).
-COARSE_MS_TIMER = TimerModel(
+COARSE_MS_TIMER: Final[TimerModel] = TimerModel(
     granularity_ns=us(1000), overhead_ns=us(2), jitter=JitterModel(median_ns=us(8), sigma=0.6)
 )

@@ -66,6 +66,11 @@ class Simulator:
         sim.run(until=seconds(10))
     """
 
+    #: Bound at class definition so the build-mode rebind at module tail
+    #: (which shadows the module-global ``EventHandle`` with the C class)
+    #: cannot swap the handle type out from under the pure implementation.
+    _handle_cls = EventHandle
+
     def __init__(self) -> None:
         self._now = 0
         self._seq = 0
@@ -125,7 +130,7 @@ class Simulator:
             )
         seq = self._seq
         self._seq = seq + 1
-        handle = EventHandle(time_ns, seq, fn, args)
+        handle = self._handle_cls(time_ns, seq, fn, args)
         _heappush(self._heap, (time_ns, seq, handle, None))
         return handle
 
@@ -233,3 +238,26 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+
+
+# -- build-mode selection ---------------------------------------------------
+#
+# When the compiled core is importable (and REPRO_PURE_PYTHON is unset), the
+# C implementations shadow the pure classes above. The pure classes stay
+# importable under ``Pure*`` names for the fallback/equivalence tests; both
+# implementations are bit-identical by contract (pinned by the golden
+# fingerprints and tests/framework/test_build_modes.py).
+
+PureSimulator = Simulator
+PureEventHandle = EventHandle
+
+from repro import _build as _build  # noqa: E402 - deliberate tail import
+
+_core = _build.compiled_core()
+if _core is not None:
+    Simulator = _core.Simulator  # type: ignore[misc]
+    EventHandle = _core.EventHandle  # type: ignore[misc]
+    _build.register("repro.sim.engine", "compiled")
+else:
+    _build.register("repro.sim.engine", "pure")
+del _core

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from math import exp as _exp
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.sim.clock import TimerModel, PERFECT_TIMER
 from repro.sim.engine import EventHandle, Simulator
@@ -40,19 +40,19 @@ class SimProcess:
         timer_model: TimerModel = PERFECT_TIMER,
         rng: Optional[random.Random] = None,
     ):
-        self.sim = sim
-        self.name = name
-        self.timer_model = timer_model
-        self.rng = rng or random.Random(0)
+        self.sim: Simulator = sim
+        self.name: str = name
+        self.timer_model: TimerModel = timer_model
+        self.rng: random.Random = rng or random.Random(0)
         self._pending: Optional[EventHandle] = None
         self._pending_deadline: Optional[int] = None
-        self.wakeups = 0
+        self.wakeups: int = 0
         # Timer-model parameters unpacked for the inline fire-time math.
-        self._gran = timer_model.granularity_ns
-        self._overhead = timer_model.overhead_ns
-        self._jitter_median = timer_model.jitter.median_ns
-        self._jitter_sigma = timer_model.jitter.sigma
-        self._gauss = self.rng.gauss
+        self._gran: int = timer_model.granularity_ns
+        self._overhead: int = timer_model.overhead_ns
+        self._jitter_median: int = timer_model.jitter.median_ns
+        self._jitter_sigma: float = timer_model.jitter.sigma
+        self._gauss: Callable[[float, float], float] = self.rng.gauss
 
     # -- arming ---------------------------------------------------------
 

@@ -37,7 +37,7 @@ class RngRegistry:
     """Factory for named, independently-seeded :class:`random.Random` streams."""
 
     def __init__(self, seed: int):
-        self.seed = int(seed)
+        self.seed: int = int(seed)
         self._streams: Dict[str, random.Random] = {}
 
     def stream(self, name: str) -> random.Random:

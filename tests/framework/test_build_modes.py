@@ -1,0 +1,241 @@
+"""Build-mode selection and cross-build bit-identity.
+
+The compiled core is an *execution* detail: ``repro.build_info()`` reports
+which build the process runs, but golden fingerprints, cache artifacts, and
+result identity must be byte-equal across builds. Selection must degrade
+cleanly — ``REPRO_PURE_PYTHON=1`` forces pure, an absent extension falls
+back silently, and a *broken* extension falls back with exactly one stderr
+notice. Subprocesses are used wherever the decision under test happens at
+import time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro import build_info
+from repro._build import COMPILED_SCOPE, PURE_ENV
+from repro.framework.cache import ResultCache
+from repro.framework.config import ExperimentConfig
+from repro.framework.sweep import SweepRunner
+from repro.sim.engine import PureEventHandle, PureSimulator
+from repro.units import kib
+from tests.framework.test_golden_fingerprints import GOLDEN
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _run_py(code: str, **env_overrides: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (SRC, env.get("PYTHONPATH")) if p
+    )
+    env.pop(PURE_ENV, None)
+    env.update(env_overrides)
+    return subprocess.run(
+        [sys.executable, "-c", textwrap.dedent(code)],
+        capture_output=True, text=True, env=env,
+    )
+
+
+class TestSelection:
+    def test_build_info_shape(self):
+        info = build_info()
+        assert info["mode"] in ("compiled", "pure")
+        assert set(info["modules"]) >= set(COMPILED_SCOPE)
+        assert all(v in ("compiled", "pure") for v in info["modules"].values())
+
+    def test_pure_python_env_forces_pure(self):
+        proc = _run_py(
+            """
+            import json
+            from repro import build_info
+            from repro.sim import engine
+            info = build_info()
+            assert engine.Simulator is engine.PureSimulator, engine.Simulator
+            print(json.dumps(info))
+            """,
+            **{PURE_ENV: "1"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        info = json.loads(proc.stdout)
+        assert info["mode"] == "pure"
+        assert PURE_ENV in info["reason"]
+        assert set(info["modules"].values()) == {"pure"}
+        assert "falling back" not in proc.stderr  # forced, not degraded
+
+    def test_broken_compiled_core_degrades_with_one_notice(self):
+        # A meta-path hook that breaks the extension's import stands in for
+        # a corrupt/ABI-mismatched build artifact.
+        proc = _run_py(
+            """
+            import sys
+
+            class Breaker:
+                def find_spec(self, name, path=None, target=None):
+                    if name == "repro._speed._core":
+                        raise ImportError("simulated broken artifact")
+                    return None
+
+            sys.meta_path.insert(0, Breaker())
+            import json
+            from repro import build_info
+            from repro.sim import engine
+            assert engine.Simulator is engine.PureSimulator
+            engine.Simulator().run(until=10)  # the fallback actually works
+            print(json.dumps(build_info()))
+            """
+        )
+        assert proc.returncode == 0, proc.stderr
+        info = json.loads(proc.stdout)
+        assert info["mode"] == "pure"
+        assert "simulated broken artifact" in info["reason"]
+        notices = [
+            line for line in proc.stderr.splitlines()
+            if "compiled core unavailable" in line
+        ]
+        assert len(notices) == 1, proc.stderr
+
+    def test_absent_compiled_core_is_silent(self):
+        # Hide the extension entirely: the expected state of a plain source
+        # checkout must not produce any warning.
+        proc = _run_py(
+            """
+            import sys
+
+            class Hider:
+                def find_spec(self, name, path=None, target=None):
+                    if name == "repro._speed._core":
+                        raise ModuleNotFoundError(
+                            f"No module named {name!r}", name=name
+                        )
+                    return None
+
+            sys.meta_path.insert(0, Hider())
+            import json
+            from repro import build_info
+            print(json.dumps(build_info()))
+            """
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert json.loads(proc.stdout)["mode"] == "pure"
+        assert proc.stderr.strip() == ""
+
+    def test_pure_classes_stay_importable_under_any_build(self):
+        sim = PureSimulator()
+        sim.schedule(5, lambda: None)
+        sim.run()
+        assert sim.now == 5
+        assert PureEventHandle(0, 0, lambda: None, ()).cancelled is False
+
+
+class TestCrossBuildIdentity:
+    def test_pure_build_rederives_the_golden_fingerprints(self):
+        # The goldens were recorded on the pure seed implementation; the
+        # pure build must still reproduce them regardless of what this
+        # process runs. Two entries keep the subprocess fast — the full
+        # matrix runs in test_golden_fingerprints under the ambient build.
+        cases = {name: GOLDEN[name] for name in ("tcp", "quiche-etf")}
+        # Indent to match the template body so dedent still strips cleanly.
+        lines = ("\n" + " " * 12).join(
+            f"check({cfg.stack!r}, {cfg.qdisc!r}, {cfg.file_size}, "
+            f"{seed}, {expected!r})"
+            for cfg, seed, expected in cases.values()
+        )
+        proc = _run_py(
+            """
+            from repro import build_info
+            from repro.framework.config import ExperimentConfig
+            from repro.framework.experiment import run_experiment
+
+            assert build_info()["mode"] == "pure"
+
+            def check(stack, qdisc, size, seed, expected):
+                config = ExperimentConfig(stack=stack, qdisc=qdisc, file_size=size)
+                actual = run_experiment(config, seed=seed).fingerprint()
+                assert actual == expected, (stack, actual)
+
+            %s
+            print("ok")
+            """ % lines,
+            **{PURE_ENV: "1"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "ok"
+
+    def test_pure_written_cache_is_hit_byte_identically_by_this_build(self, tmp_path):
+        grid = {
+            "quiche": ExperimentConfig(
+                stack="quiche", file_size=kib(128), repetitions=2
+            )
+        }
+        cache_dir = tmp_path / "cache"
+        # Warm the cache in a pure-build subprocess...
+        proc = _run_py(
+            """
+            from repro import build_info
+            from repro.framework.cache import ResultCache
+            from repro.framework.config import ExperimentConfig
+            from repro.framework.sweep import SweepRunner
+            from repro.units import kib
+
+            assert build_info()["mode"] == "pure"
+            grid = {"quiche": ExperimentConfig(stack="quiche", file_size=kib(128), repetitions=2)}
+            cache = ResultCache(%r)
+            summaries = SweepRunner(workers=1, cache=cache).run(grid)
+            assert cache.stats.stores == 2
+            for result in summaries["quiche"].results:
+                print(result.fingerprint())
+            """ % str(cache_dir),
+            **{PURE_ENV: "1"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        pure_prints = proc.stdout.split()
+        assert len(pure_prints) == 2
+
+        # ...then read it under the ambient build: every repetition must be
+        # a cache hit (keys don't encode the build) and bit-identical.
+        cache = ResultCache(cache_dir)
+        summaries = SweepRunner(workers=1, cache=cache).run(grid)
+        assert cache.stats.hits == 2
+        assert cache.stats.stores == 0
+        assert [r.fingerprint() for r in summaries["quiche"].results] == pure_prints
+
+
+@pytest.mark.skipif(
+    build_info()["mode"] != "compiled",
+    reason="needs the compiled core built in place",
+)
+class TestCompiledBuild:
+    def test_compiled_engine_is_active(self):
+        from repro.sim import engine
+
+        assert engine.Simulator is not engine.PureSimulator
+        info = build_info()
+        assert info["mode"] == "compiled"
+        assert info["modules"]["repro.sim.engine"] == "compiled"
+        assert info["modules"]["repro.quic.varint"] == "compiled"
+
+    def test_compiled_and_pure_engines_agree_event_for_event(self):
+        from repro.sim.engine import Simulator
+
+        def trace(sim_cls):
+            sim = sim_cls()
+            out = []
+            for i in (7, 3, 3, 11):
+                sim.schedule(i, out.append, (i, sim_cls.__name__))
+            handle = sim.schedule_cancellable(5, out.append, "cancelled")
+            handle.cancel()
+            sim.run(until=10)
+            return [(t, v[0]) for t, v in zip((3, 3, 7), out)], sim.now
+
+        compiled = trace(Simulator)
+        pure = trace(PureSimulator)
+        assert compiled == pure

@@ -1,0 +1,202 @@
+"""Shared-memory result transport: bit-identity, fallbacks, leak-proofing.
+
+The transport is an *execution* detail like the backend itself: forcing every
+result through shared memory (threshold 0) must reproduce the serial
+fingerprints bit for bit, and the transport must never appear in cache keys
+or fingerprints. Crashed workers may orphan segments; the post-campaign
+sweep must reclaim exactly the transport's own namespace and nothing else.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.framework.config import ExperimentConfig
+from repro.framework.executors import (
+    DEFAULT_SHM_THRESHOLD,
+    Executor,
+    ForkServerExecutor,
+    PoolExecutor,
+    SharedMemoryTransport,
+    ShmSegmentRef,
+    SpawnExecutor,
+    _InlineBlob,
+    _shm_worker_run,
+    _shared_memory,
+)
+from repro.framework.runner import _run_one
+from repro.framework.supervision import SupervisionPolicy
+from repro.framework.sweep import SweepRunner
+from repro.units import kib
+
+pytestmark = pytest.mark.skipif(
+    _shared_memory is None, reason="multiprocessing.shared_memory unavailable"
+)
+
+GRID = {
+    "quiche": ExperimentConfig(stack="quiche", file_size=kib(96), repetitions=2),
+    "tcp": ExperimentConfig(stack="tcp", file_size=kib(96), repetitions=2),
+}
+
+FAST = SupervisionPolicy(retries=2, backoff_base_s=0.0, poll_interval_s=0.02)
+
+
+def _fingerprints(summaries):
+    return {
+        name: [r.fingerprint() for r in summary.results]
+        for name, summary in summaries.items()
+    }
+
+
+def _segments_with(prefix: str):
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        return []
+    return [f for f in os.listdir(shm_dir) if f.startswith(prefix)]
+
+
+# -- unit level --------------------------------------------------------------
+
+
+def _big_result(config, seed):
+    return {"seed": seed, "payload": bytes(range(256)) * 4096}  # ~1 MiB
+
+
+def _tiny_result(config, seed):
+    return {"seed": seed}
+
+
+class TestWorkerSide:
+    def test_large_result_rides_shared_memory_and_unlinks_on_resolve(self):
+        transport = SharedMemoryTransport(threshold=0)
+        ref = _shm_worker_run(_big_result, transport.prefix, 0, None, 7)
+        assert isinstance(ref, ShmSegmentRef)
+        assert ref.name.startswith(transport.prefix)
+        assert _segments_with(transport.prefix) == [ref.name]
+        assert transport.resolve(ref) == _big_result(None, 7)
+        # Resolve unlinks: nothing left to sweep, stats counted the ride.
+        assert _segments_with(transport.prefix) == []
+        assert transport.stats["shm_results"] == 1
+        assert transport.sweep() == 0
+
+    def test_small_result_stays_inline(self):
+        transport = SharedMemoryTransport()  # default threshold
+        sent = _shm_worker_run(
+            _tiny_result, transport.prefix, DEFAULT_SHM_THRESHOLD, None, 7
+        )
+        assert isinstance(sent, _InlineBlob)
+        assert transport.resolve(sent) == {"seed": 7}
+        assert transport.stats == {
+            "shm_results": 0,
+            "inline_results": 1,
+            "swept_segments": 0,
+        }
+
+    def test_inline_blob_is_the_workers_own_pickle(self):
+        sent = _shm_worker_run(_tiny_result, "repro-shm-test-", 1 << 30, None, 3)
+        assert pickle.loads(sent.blob) == {"seed": 3}
+
+    def test_vanished_segment_is_an_execution_error(self):
+        transport = SharedMemoryTransport()
+        ref = ShmSegmentRef(name=f"{transport.prefix}999-0", size=16)
+        with pytest.raises(ExecutionError, match="vanished"):
+            transport.resolve(ref)
+
+    def test_resolve_passes_foreign_objects_through(self):
+        transport = SharedMemoryTransport()
+        result = {"not": "wrapped"}
+        assert transport.resolve(result) is result
+
+    def test_disabled_transport_never_wraps(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        transport = SharedMemoryTransport()
+        assert not transport.enabled
+        assert transport.wrap(_run_one) is _run_one
+        assert transport.sweep() == 0
+
+    def test_threshold_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_THRESHOLD", "1024")
+        assert SharedMemoryTransport().threshold == 1024
+
+
+class TestSweep:
+    def test_sweep_reclaims_only_its_own_namespace(self):
+        mine = SharedMemoryTransport(threshold=0)
+        other = SharedMemoryTransport(threshold=0)
+        leaked = _shared_memory.SharedMemory(
+            name=f"{mine.prefix}123-0", create=True, size=64
+        )
+        leaked.close()
+        foreign = _shared_memory.SharedMemory(
+            name=f"{other.prefix}123-0", create=True, size=64
+        )
+        foreign.close()
+        try:
+            assert mine.sweep() == 1
+            assert _segments_with(mine.prefix) == []
+            assert _segments_with(other.prefix) == [f"{other.prefix}123-0"]
+            assert mine.stats["swept_segments"] == 1
+        finally:
+            assert other.sweep() == 1
+
+    def test_executor_hooks_default_to_identity(self):
+        base = Executor()
+        assert base.wrap_run_fn(_run_one) is _run_one
+        assert base.resolve_result("x") == "x"
+        assert base.cleanup_transport() == 0
+
+    def test_local_pool_backends_carry_a_transport(self):
+        for cls in (PoolExecutor, SpawnExecutor, ForkServerExecutor):
+            executor = cls()
+            assert isinstance(executor.transport, SharedMemoryTransport)
+        custom = SharedMemoryTransport(threshold=1)
+        assert PoolExecutor(transport=custom).transport is custom
+
+
+# -- campaign level ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend_cls", [PoolExecutor, ForkServerExecutor])
+def test_forced_shm_campaign_is_bit_identical_and_leak_free(backend_cls):
+    baseline = SweepRunner(workers=1, backend="inprocess").run(GRID)
+    executor = backend_cls(transport=SharedMemoryTransport(threshold=0))
+    swept = SweepRunner(workers=2, backend=executor, policy=FAST).run(GRID)
+    assert _fingerprints(swept) == _fingerprints(baseline)
+    assert all(not s.failures for s in swept.values())
+    # Every repetition rode shared memory, every segment was reclaimed.
+    assert executor.transport.stats["shm_results"] == 4
+    assert executor.transport.stats["inline_results"] == 0
+    assert _segments_with(executor.transport.prefix) == []
+
+
+def test_default_threshold_keeps_small_results_on_the_queue():
+    executor = PoolExecutor()  # default threshold: these results are tiny
+    swept = SweepRunner(workers=2, backend=executor, policy=FAST).run(GRID)
+    assert all(not s.failures for s in swept.values())
+    assert executor.transport.stats["shm_results"] == 0
+    assert executor.transport.stats["inline_results"] == 4
+
+
+def crash_once_run_one(config, seed):
+    """First execution of the tcp config's rep kills its worker mid-result."""
+    import pathlib
+
+    marker = pathlib.Path(os.environ["REPRO_CHAOS_DIR"]) / f"crashed-{seed}"
+    if config.stack == "tcp" and not marker.exists():
+        marker.touch()
+        os._exit(23)
+    return _run_one(config, seed)
+
+
+def test_worker_crash_retries_clean_and_leaks_nothing(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path))
+    baseline = SweepRunner(workers=1, backend="inprocess").run(GRID)
+    executor = PoolExecutor(transport=SharedMemoryTransport(threshold=0))
+    swept = SweepRunner(
+        workers=2, backend=executor, policy=FAST, run_fn=crash_once_run_one
+    ).run(GRID)
+    assert _fingerprints(swept) == _fingerprints(baseline)
+    assert all(not s.failures for s in swept.values())
+    assert _segments_with(executor.transport.prefix) == []
