@@ -30,6 +30,13 @@ MIN_COMPILED_MICRO_SPEEDUP = 2.0
 #: beyond measurement noise (see the comment at the gate below).
 MIN_COMPILED_E2E_RATIO = 0.95
 
+#: The timer wheel must beat the plain lazy-cancel heap on the re-arm-churn
+#: microbenchmark by this much to be worth its admission bookkeeping. The
+#: measured margin is ~1.9x compiled / ~2.3x pure; 1.2x leaves room for
+#: runner noise while still catching a wheel that has degenerated into pure
+#: overhead (e.g. a pour bug dumping every admission straight into the heap).
+MIN_WHEEL_SPEEDUP = 1.2
+
 
 def compare(result: dict, baseline: dict, tolerance: float) -> list[str]:
     failures: list[str] = []
@@ -64,6 +71,39 @@ def compare(result: dict, baseline: dict, tolerance: float) -> list[str]:
                 f"manyflow@{manyflow['flows']}flows: {manyflow['wall_s']:.3f}s is "
                 f"more than {tolerance:.0%} above baseline {entry['wall_s']:.3f}s"
             )
+    churn = result.get("manyflow_churn")
+    base_churn = baseline.get("manyflow_churn", {})
+    entry = base_churn.get(str(churn["flows"])) if churn else None
+    if churn and entry:
+        ceiling = entry["wall_s"] * (1.0 + tolerance)
+        if churn["wall_s"] > ceiling:
+            failures.append(
+                f"manyflow_churn@{churn['flows']}flows: {churn['wall_s']:.3f}s "
+                f"is more than {tolerance:.0%} above baseline {entry['wall_s']:.3f}s"
+            )
+        # Determinism, not performance: the churn workload is a pure function
+        # of (config, seed), identical across builds and engine variants, so
+        # the fingerprint must match the baseline byte-for-byte.
+        if entry.get("fingerprint") and churn["fingerprint"] != entry["fingerprint"]:
+            failures.append(
+                f"manyflow_churn@{churn['flows']}flows: fingerprint "
+                f"{churn['fingerprint'][:16]}… does not match baseline "
+                f"{entry['fingerprint'][:16]}… (churn teardown broke determinism)"
+            )
+    rearm = result.get("micro", {}).get("timer_rearm")
+    if rearm and rearm.get("wheel_speedup") is not None:
+        if rearm["wheel_speedup"] < MIN_WHEEL_SPEEDUP:
+            failures.append(
+                f"timer_rearm: wheel is only {rearm['wheel_speedup']:.2f}x "
+                f"the lazy-cancel heap (gate: >= {MIN_WHEEL_SPEEDUP:.1f}x)"
+            )
+    census = result.get("census")
+    if census and census.get("post_departure", 0) > 0:
+        # The churn invariant: a departed flow schedules nothing, ever.
+        failures.append(
+            f"census: {census['post_departure']} event(s) scheduled by "
+            "departed flows (teardown left a live timer)"
+        )
     backend = result.get("backend", {}).get("backends", {})
     spawn, forkserver = backend.get("spawn"), backend.get("forkserver")
     if spawn and forkserver and forkserver["wall_s"] >= spawn["wall_s"]:

@@ -26,7 +26,7 @@ def flow_count() -> int:
     return int(os.environ.get("REPRO_FLOWS", "200"))
 
 
-def population_config(flows: int) -> PopulationConfig:
+def population_config(flows: int, churn: bool = False) -> PopulationConfig:
     """The benchmark workload: fixed parameters so the number tracks the
     engine, not the scenario."""
     return PopulationConfig(
@@ -37,6 +37,7 @@ def population_config(flows: int) -> PopulationConfig:
         extra_rtt_max_ns=ms(40),
         profiles=("quiche:cubic:fq", "picoquic:bbr", "ngtcp2:cubic", "tcp"),
         max_sim_time_ns=seconds(300),
+        churn=churn,
     )
 
 
@@ -46,12 +47,18 @@ def bench_manyflow(
     runs: int = 3,
     store=None,
     name: str = "bench/manyflow",
+    churn: bool = False,
 ) -> Dict:
     """Time the population run; optionally record the (deterministic) result
-    into a :class:`~repro.framework.store.ResultStore` under ``name``."""
+    into a :class:`~repro.framework.store.ResultStore` under ``name``.
+
+    ``churn=True`` times the departure-teardown variant (flows torn down as
+    they complete, O(active) steady-state) — a different deterministic
+    workload with its own fingerprint, keyed separately in the baselines.
+    """
     if flows is None:
         flows = flow_count()
-    cfg = population_config(flows)
+    cfg = population_config(flows, churn=churn)
     times = []
     result = None
     for _ in range(runs):
@@ -61,7 +68,7 @@ def bench_manyflow(
     best = min(times)
     if store is not None:
         store.record_result(name, 0, result)
-    return {
+    out = {
         "flows": flows,
         "seed": seed,
         "runs": runs,
@@ -72,3 +79,18 @@ def bench_manyflow(
         "completed_flows": result.completed_count,
         "fingerprint": result.fingerprint(),
     }
+    if churn:
+        out["churn"] = True
+        out["drained"] = result.multi.drained
+    return out
+
+
+def census_totals(flows: int, seed: int = 1, churn: bool = False) -> Dict:
+    """One census-instrumented run (pure engine, uncounted in the timing):
+    the per-component totals recorded alongside the benchmark numbers."""
+    result = run_population(
+        population_config(flows, churn=churn), seed=seed, profile_events=True
+    )
+    totals = dict(result.census["totals"])
+    totals["fingerprint"] = result.fingerprint()
+    return totals

@@ -8,6 +8,7 @@ cost, so absolute size barely matters beyond amortizing setup.
 
 from __future__ import annotations
 
+import os
 import random
 from typing import Dict
 
@@ -45,6 +46,57 @@ def bench_event_throughput(n: int = 200_000, repeats: int = 3) -> Dict:
         return n + len(handles)
 
     return best_of(run, repeats)
+
+
+def bench_timer_rearm(
+    n_timers: int = 20_000, rounds: int = 20, repeats: int = 3
+) -> Dict:
+    """Steady-population timer churn: the thousands-of-flows scheduling
+    pattern, measured in isolation.
+
+    Every recovery/delayed-ACK/pacing deadline in a flow population is
+    superseded many times before one finally fires. Here ``n_timers``
+    reusable timers are each re-armed ``rounds`` times (every re-arm leaves
+    one stale soft-cancelled calendar entry behind) and the population then
+    runs to quiescence. One "op" is one (re-)arm. The same workload is
+    re-timed with the wheel disabled (``REPRO_TIMER_WHEEL=0`` — the plain
+    lazy-cancel heap) and reported as ``wheel_speedup``; the committed
+    baseline additionally records the pre-PR cancel-and-reschedule cost of
+    this pattern (``pre_pr_timer_rearm``) for the cross-PR speedup.
+    """
+
+    def run() -> int:
+        sim = Simulator()
+        fired = [0]
+
+        def tick() -> None:
+            fired[0] += 1
+
+        timers = [sim.timer(tick) for _ in range(n_timers)]
+        deadline = 0
+        for _ in range(rounds):
+            deadline += 1_000
+            for i, timer in enumerate(timers):
+                timer.schedule_at(deadline + (i * 37 & 0xFF))
+        sim.run()
+        assert fired[0] == n_timers
+        return n_timers * rounds
+
+    record = best_of(run, repeats)
+    saved = os.environ.get("REPRO_TIMER_WHEEL")
+    os.environ["REPRO_TIMER_WHEEL"] = "0"
+    try:
+        heap = best_of(run, repeats)
+    finally:
+        if saved is None:
+            del os.environ["REPRO_TIMER_WHEEL"]
+        else:
+            os.environ["REPRO_TIMER_WHEEL"] = saved
+    record["heap_ops_per_sec"] = heap["ops_per_sec"]
+    record["wheel_speedup"] = round(
+        record["ops_per_sec"] / heap["ops_per_sec"], 2
+    )
+    return record
 
 
 def bench_qdisc(n: int = 30_000, flows: int = 8, repeats: int = 3) -> Dict:
@@ -147,6 +199,7 @@ def bench_gap_analysis(n: int = 200_000, repeats: int = 3) -> Dict:
 def run_all(repeats: int = 3) -> Dict[str, Dict]:
     return {
         "event_throughput": bench_event_throughput(repeats=repeats),
+        "timer_rearm": bench_timer_rearm(repeats=repeats),
         "qdisc_enqueue_dequeue": bench_qdisc(repeats=repeats),
         "capture_append": bench_capture_append(repeats=repeats),
         "gap_analysis": bench_gap_analysis(repeats=repeats),

@@ -36,7 +36,7 @@ from pathlib import Path
 
 from benchmarks.perf.backend import bench_backends, bench_transport
 from benchmarks.perf.e2e import bench_e2e, scale_mib
-from benchmarks.perf.manyflow import bench_manyflow, flow_count
+from benchmarks.perf.manyflow import bench_manyflow, census_totals, flow_count
 from benchmarks.perf.microbench import run_all
 from repro import build_info
 from repro.framework.store import ResultStore
@@ -74,7 +74,7 @@ def _pure_comparison(repeats: int, runs: int) -> dict | None:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_9.json", help="output JSON path")
+    parser.add_argument("--out", default="BENCH_10.json", help="output JSON path")
     parser.add_argument(
         "--force", action="store_true",
         help="overwrite an existing --out recorded under a different "
@@ -89,6 +89,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--flow-runs", type=int, default=3,
         help="repetitions of the many-flow population run",
+    )
+    parser.add_argument(
+        "--census-flows", type=int, default=200,
+        help="flows for the (untimed) event-census run (0 skips the section)",
     )
     parser.add_argument(
         "--backend-runs", type=int, default=3,
@@ -144,6 +148,14 @@ def main(argv: list[str] | None = None) -> int:
     micro = run_all(repeats=args.repeats)
     for name, rec in micro.items():
         print(f"  {name:24s} {rec['ops_per_sec']:>14,.0f} ops/s")
+    rearm = micro.get("timer_rearm")
+    if rearm:
+        print(
+            f"  timer wheel vs lazy-cancel heap: "
+            f"{rearm['wheel_speedup']:.2f}x "
+            f"({rearm['heap_ops_per_sec']:,.0f} ops/s with "
+            "REPRO_TIMER_WHEEL=0)"
+        )
 
     scale = scale_mib()
     print(f"perf: end-to-end transfer at {scale:g} MiB (best of {args.runs}) ...")
@@ -163,6 +175,24 @@ def main(argv: list[str] | None = None) -> int:
         f"{manyflow['completed_flows']}/{flows} flows completed"
     )
 
+    print(f"perf: many-flow churn variant at {flows} flows (best of {args.flow_runs}) ...")
+    manyflow_churn = bench_manyflow(
+        runs=args.flow_runs, store=store, name="bench/manyflow-churn", churn=True
+    )
+    print(
+        f"  wall {manyflow_churn['wall_s']:.3f}s  "
+        f"{manyflow_churn['events_per_sec']:,.0f} events/s  "
+        f"{manyflow_churn['drained']} drained stragglers"
+    )
+
+    if args.census_flows > 0:
+        print(f"perf: event census at {args.census_flows} flows (pure engine) ...")
+        census = census_totals(args.census_flows, churn=True)
+        print(
+            f"  {census['scheduled']} scheduled, {census['fired']} fired, "
+            f"{census['stale']} stale, {census['post_departure']} post-departure"
+        )
+
     payload = {
         "schema": 1,
         "python": platform.python_version(),
@@ -170,7 +200,10 @@ def main(argv: list[str] | None = None) -> int:
         "micro": micro,
         "e2e": e2e,
         "manyflow": manyflow,
+        "manyflow_churn": manyflow_churn,
     }
+    if args.census_flows > 0:
+        payload["census"] = {"flows": args.census_flows, "churn": True, **census}
 
     if store is not None:
         payload["store"] = {
@@ -237,6 +270,29 @@ def main(argv: list[str] | None = None) -> int:
             payload["e2e"]["speedup_vs_pre_pr"] = round(speedup, 2)
             print(
                 f"  speedup vs pre-PR engine ({pre['wall_s']:.3f}s): "
+                f"{speedup:.2f}x"
+            )
+        pre_many = baseline.get("pre_pr_manyflow", {}).get(str(flows))
+        if pre_many:
+            speedup = pre_many["wall_s"] / manyflow["wall_s"]
+            payload["manyflow"]["pre_pr_wall_s"] = pre_many["wall_s"]
+            payload["manyflow"]["speedup_vs_pre_pr"] = round(speedup, 2)
+            print(
+                f"  manyflow@{flows} speedup vs pre-PR engine "
+                f"({pre_many['wall_s']:.3f}s): {speedup:.2f}x"
+            )
+        pre_rearm = baseline.get("pre_pr_timer_rearm", {}).get(build_mode)
+        if pre_rearm and rearm:
+            speedup = rearm["ops_per_sec"] / pre_rearm["ops_per_sec"]
+            payload["micro"]["timer_rearm"]["pre_pr_ops_per_sec"] = (
+                pre_rearm["ops_per_sec"]
+            )
+            payload["micro"]["timer_rearm"]["speedup_vs_pre_pr"] = round(
+                speedup, 2
+            )
+            print(
+                f"  timer_rearm speedup vs pre-PR cancel+reschedule "
+                f"({pre_rearm['ops_per_sec']:,.0f} ops/s, {build_mode}): "
                 f"{speedup:.2f}x"
             )
 

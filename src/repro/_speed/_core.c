@@ -2,7 +2,7 @@
  * surfaces, selected at import time by repro._build and always shadowed by
  * bit-identical pure-Python fallbacks.
  *
- *   - Simulator / EventHandle  (repro.sim.engine)
+ *   - Simulator / EventHandle / Timer  (repro.sim.engine)
  *   - varint_len / encode_varint / decode_varint  (repro.quic.varint)
  *
  * Correctness contract: observable behaviour (event order, clock values,
@@ -12,15 +12,34 @@
  * same total order as heapq does — the golden-fingerprint suite pins this
  * across both builds.
  *
- * The heap here stores packed C structs (int64 time/seq + two object
- * pointers) instead of Python tuples: scheduling allocates at most the
- * *args tuple, and the run loop dispatches without tuple unpacking or
- * sentinel isinstance checks.
+ * The calendar is a binary min-heap fronted by a two-level hierarchical
+ * timer wheel (mirroring the pure engine exactly):
+ *
+ *   - L0: 256 slots x 2^20 ns (~1.05 ms each, ~268 ms horizon)
+ *   - L1: 64 slots x 2^28 ns (~268 ms each, ~17.2 s horizon)
+ *   - an overflow list beyond that, rescanned once per L1 wrap
+ *
+ * Admission appends to a slot vector in O(1); a slot is poured into the
+ * heap only when the clock is about to enter it, and the heap performs the
+ * final (time, seq) ordering — so wheel-on/off and pure/compiled runs all
+ * fire events in exactly the same order.
+ *
+ * Soft cancel: cancellable entries (args == NULL) record the owner's
+ * generation; EventHandle.cancel / Timer.cancel / Timer re-arms just bump
+ * the owner's live_seq, and stale entries are discarded for free at pour
+ * or pop time — no heap search, no sift.
+ *
+ * The heap stores packed C structs (int64 time/seq + two object pointers)
+ * instead of Python tuples: scheduling allocates at most the *args tuple,
+ * and the run loop dispatches without tuple unpacking or sentinel
+ * isinstance checks.
  */
 
 #define PY_SSIZE_T_CLEAN
 #include <Python.h>
 #include <structmember.h>
+#include <stdlib.h>
+#include <string.h>
 
 /* Exception classes borrowed from repro.errors at module init. */
 static PyObject *SimulationError;
@@ -28,20 +47,37 @@ static PyObject *EncodingError;
 static PyObject *empty_tuple;
 static PyObject *noop_fn;
 
+/* L0 slot width is 2^20 ns (~1.05 ms); 256 slots cover ~268 ms. */
+#define L0_BITS 20
+/* L1 slot width is 2^28 ns (~268 ms); 64 slots cover ~17.2 s. */
+#define L1_BITS 28
+
 /* ------------------------------------------------------------------ */
-/* EventHandle                                                         */
+/* Soft-cancellable owners (EventHandle, Timer)                        */
 /* ------------------------------------------------------------------ */
 
+/* Shared layout prefix of EventHandle and Timer: the run loop checks and
+ * clears live_seq through this view without knowing the concrete type. */
 typedef struct {
     PyObject_HEAD
     long long time;
-    long long seq;
+    long long live_seq;
     PyObject *fn;
     PyObject *args;
-    char cancelled;
+} SchedHead;
+
+typedef struct {
+    SchedHead head;
+    long long seq;
 } EventHandleObject;
 
+typedef struct {
+    SchedHead head;
+    PyObject *sim; /* owning Simulator; cycle is GC-tracked */
+} TimerObject;
+
 static PyTypeObject EventHandle_Type;
+static PyTypeObject Timer_Type;
 
 static EventHandleObject *
 EventHandle_make(long long time, long long seq, PyObject *fn, PyObject *args)
@@ -50,12 +86,12 @@ EventHandle_make(long long time, long long seq, PyObject *fn, PyObject *args)
         PyObject_GC_New(EventHandleObject, &EventHandle_Type);
     if (self == NULL)
         return NULL;
-    self->time = time;
-    self->seq = seq;
+    self->head.time = time;
+    self->head.live_seq = seq;
     Py_INCREF(fn);
-    self->fn = fn;
-    self->args = args; /* steals */
-    self->cancelled = 0;
+    self->head.fn = fn;
+    self->head.args = args; /* steals */
+    self->seq = seq;
     PyObject_GC_Track((PyObject *)self);
     return self;
 }
@@ -63,16 +99,16 @@ EventHandle_make(long long time, long long seq, PyObject *fn, PyObject *args)
 static int
 EventHandle_traverse(EventHandleObject *self, visitproc visit, void *arg)
 {
-    Py_VISIT(self->fn);
-    Py_VISIT(self->args);
+    Py_VISIT(self->head.fn);
+    Py_VISIT(self->head.args);
     return 0;
 }
 
 static int
 EventHandle_clear(EventHandleObject *self)
 {
-    Py_CLEAR(self->fn);
-    Py_CLEAR(self->args);
+    Py_CLEAR(self->head.fn);
+    Py_CLEAR(self->head.args);
     return 0;
 }
 
@@ -80,8 +116,8 @@ static void
 EventHandle_dealloc(EventHandleObject *self)
 {
     PyObject_GC_UnTrack(self);
-    Py_XDECREF(self->fn);
-    Py_XDECREF(self->args);
+    Py_XDECREF(self->head.fn);
+    Py_XDECREF(self->head.args);
     PyObject_GC_Del(self);
 }
 
@@ -90,26 +126,26 @@ EventHandle_cancel(EventHandleObject *self, PyObject *Py_UNUSED(ignored))
 {
     /* Drop references so cancelled events don't pin objects in the heap;
      * matches the pure implementation (fn -> no-op, args -> ()). */
-    self->cancelled = 1;
+    self->head.live_seq = -1;
     Py_INCREF(noop_fn);
-    Py_XSETREF(self->fn, noop_fn);
+    Py_XSETREF(self->head.fn, noop_fn);
     Py_INCREF(empty_tuple);
-    Py_XSETREF(self->args, empty_tuple);
+    Py_XSETREF(self->head.args, empty_tuple);
     Py_RETURN_NONE;
 }
 
 static PyObject *
 EventHandle_get_cancelled(EventHandleObject *self, void *closure)
 {
-    return PyBool_FromLong(self->cancelled);
+    return PyBool_FromLong(self->head.live_seq != self->seq);
 }
 
 static PyObject *
 EventHandle_repr(EventHandleObject *self)
 {
     return PyUnicode_FromFormat(
-        "<EventHandle t=%lld seq=%lld %s>", self->time, self->seq,
-        self->cancelled ? "cancelled" : "pending");
+        "<EventHandle t=%lld seq=%lld %s>", self->head.time, self->seq,
+        self->head.live_seq != self->seq ? "cancelled" : "pending");
 }
 
 static PyMethodDef EventHandle_methods[] = {
@@ -119,12 +155,14 @@ static PyMethodDef EventHandle_methods[] = {
 };
 
 static PyMemberDef EventHandle_members[] = {
-    {"time", T_LONGLONG, offsetof(EventHandleObject, time), READONLY, NULL},
-    {"seq", T_LONGLONG, offsetof(EventHandleObject, seq), READONLY, NULL},
-    {"fn", T_OBJECT_EX, offsetof(EventHandleObject, fn), READONLY, NULL},
-    {"args", T_OBJECT_EX, offsetof(EventHandleObject, args), READONLY, NULL},
-    {"_cancelled", T_BOOL, offsetof(EventHandleObject, cancelled), READONLY,
+    {"time", T_LONGLONG, offsetof(EventHandleObject, head.time), READONLY,
      NULL},
+    {"seq", T_LONGLONG, offsetof(EventHandleObject, seq), READONLY, NULL},
+    {"fn", T_OBJECT_EX, offsetof(EventHandleObject, head.fn), READONLY, NULL},
+    {"args", T_OBJECT_EX, offsetof(EventHandleObject, head.args), READONLY,
+     NULL},
+    {"_live_seq", T_LONGLONG, offsetof(EventHandleObject, head.live_seq),
+     READONLY, NULL},
     {NULL, 0, 0, 0, NULL},
 };
 
@@ -140,7 +178,7 @@ static PyTypeObject EventHandle_Type = {
     .tp_dealloc = (destructor)EventHandle_dealloc,
     .tp_repr = (reprfunc)EventHandle_repr,
     .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
-    .tp_doc = "A cancellable reference to a scheduled event.",
+    .tp_doc = "A cancellable reference to a scheduled one-shot event.",
     .tp_traverse = (traverseproc)EventHandle_traverse,
     .tp_clear = (inquiry)EventHandle_clear,
     .tp_methods = EventHandle_methods,
@@ -152,9 +190,9 @@ static PyTypeObject EventHandle_Type = {
 /* Simulator                                                           */
 /* ------------------------------------------------------------------ */
 
-/* One calendar entry. args == NULL marks a cancellable entry whose fn slot
- * holds the EventHandle (mirrors the pure engine's (t, seq, handle, None)
- * sentinel shape, without the per-event tuple). */
+/* One calendar entry. args == NULL marks a soft-cancellable entry whose fn
+ * slot holds the EventHandle or Timer (mirrors the pure engine's
+ * (t, seq, owner, None) sentinel shape, without the per-event tuple). */
 typedef struct {
     long long time;
     long long seq;
@@ -162,19 +200,39 @@ typedef struct {
     PyObject *args;
 } HeapEntry;
 
+/* A timer-wheel slot: an unordered grow-only vector of entries. */
+typedef struct {
+    HeapEntry *v;
+    Py_ssize_t len;
+    Py_ssize_t cap;
+} WheelSlot;
+
 typedef struct {
     PyObject_HEAD
     long long now;
     long long seq;
     long long events_processed;
     char running;
+    char wheel_on;
     HeapEntry *heap;
     Py_ssize_t len;
     Py_ssize_t cap;
+    /* Timer wheel. cur0 is the absolute index of the next L0 slot to pour;
+     * every entry with time < (cur0 << L0_BITS) is guaranteed to be in the
+     * heap (the pour boundary). */
+    long long cur0;
+    Py_ssize_t wheel_count;
+    WheelSlot l0[256];
+    WheelSlot l1[64];
+    WheelSlot ovf;
 } SimulatorObject;
 
 #define ENTRY_LT(a, b) \
     ((a).time < (b).time || ((a).time == (b).time && (a).seq < (b).seq))
+
+/* Stale soft-cancelled entry: the owner's generation moved on. */
+#define ENTRY_STALE(e) \
+    ((e).args == NULL && ((SchedHead *)(e).fn)->live_seq != (e).seq)
 
 static int
 heap_reserve(SimulatorObject *self)
@@ -192,7 +250,7 @@ heap_reserve(SimulatorObject *self)
     return 0;
 }
 
-/* Push (time, seq, fn, args); steals references to fn and args. */
+/* Push an entry; steals references to fn and args. */
 static int
 heap_push(SimulatorObject *self, long long time, long long seq, PyObject *fn,
           PyObject *args)
@@ -240,6 +298,139 @@ heap_pop(SimulatorObject *self, HeapEntry *out)
     heap[pos] = item;
 }
 
+/* Append to a wheel slot; steals the entry's references (on OOM the entry
+ * is dropped, matching a failing heap_push). */
+static int
+slot_push(WheelSlot *slot, HeapEntry entry)
+{
+    if (slot->len == slot->cap) {
+        Py_ssize_t cap = slot->cap ? slot->cap * 2 : 8;
+        HeapEntry *v = PyMem_Realloc(slot->v, cap * sizeof(HeapEntry));
+        if (v == NULL) {
+            Py_DECREF(entry.fn);
+            Py_XDECREF(entry.args);
+            PyErr_NoMemory();
+            return -1;
+        }
+        slot->v = v;
+        slot->cap = cap;
+    }
+    slot->v[slot->len++] = entry;
+    return 0;
+}
+
+/* Place one calendar entry: heap if it precedes the pour boundary,
+ * otherwise the cheapest wheel level that can hold it. Steals fn/args. */
+static int
+admit(SimulatorObject *self, long long time, long long seq, PyObject *fn,
+      PyObject *args)
+{
+    long long slot0 = time >> L0_BITS;
+    if (!self->wheel_on || slot0 < self->cur0)
+        return heap_push(self, time, seq, fn, args);
+    HeapEntry entry = {time, seq, fn, args};
+    int rc;
+    if (self->wheel_count == 0) {
+        /* Empty wheel: fast-forward the pour boundary so sparse calendars
+         * never pay per-slot pour scans to catch up. */
+        if (slot0 > self->cur0)
+            self->cur0 = slot0;
+        rc = slot_push(&self->l0[slot0 & 255], entry);
+    } else if (slot0 - self->cur0 < 256) {
+        rc = slot_push(&self->l0[slot0 & 255], entry);
+    } else {
+        long long slot1 = time >> L1_BITS;
+        if (slot1 - (self->cur0 >> 8) < 64)
+            rc = slot_push(&self->l1[slot1 & 63], entry);
+        else
+            rc = slot_push(&self->ovf, entry);
+    }
+    if (rc < 0)
+        return -1;
+    self->wheel_count += 1;
+    return 0;
+}
+
+/* Pour the next L0 slot into the heap and advance the boundary.
+ *
+ * Stale soft-cancelled entries are dropped here without ever paying a heap
+ * sift. Crossing an L0 ring boundary cascades the matching L1 slot down;
+ * crossing an L1 ring boundary first rescans the overflow list for entries
+ * that now fit the wheel horizon. */
+static int
+pour_one(SimulatorObject *self)
+{
+    long long cur0 = self->cur0;
+    if ((cur0 & 255) == 0) {
+        long long cur1 = cur0 >> 8;
+        if ((cur1 & 63) == 0 && self->ovf.len) {
+            WheelSlot old = self->ovf;
+            self->ovf.v = NULL;
+            self->ovf.len = 0;
+            self->ovf.cap = 0;
+            for (Py_ssize_t i = 0; i < old.len; i++) {
+                HeapEntry e = old.v[i];
+                long long s1 = e.time >> L1_BITS;
+                WheelSlot *dst;
+                if (s1 - cur1 < 64) {
+                    if ((e.time >> L0_BITS) - cur0 < 256)
+                        dst = &self->l0[(e.time >> L0_BITS) & 255];
+                    else
+                        dst = &self->l1[s1 & 63];
+                } else {
+                    dst = &self->ovf;
+                }
+                if (slot_push(dst, e) < 0) {
+                    /* OOM: the entry was dropped; keep counts consistent. */
+                    self->wheel_count -= 1;
+                    PyErr_Clear();
+                }
+            }
+            PyMem_Free(old.v);
+        }
+        WheelSlot *up = &self->l1[cur1 & 63];
+        for (Py_ssize_t i = 0; i < up->len; i++) {
+            HeapEntry e = up->v[i];
+            if (slot_push(&self->l0[(e.time >> L0_BITS) & 255], e) < 0) {
+                self->wheel_count -= 1;
+                PyErr_Clear();
+            }
+        }
+        up->len = 0;
+    }
+    WheelSlot *slot = &self->l0[cur0 & 255];
+    if (slot->len) {
+        Py_ssize_t n = slot->len;
+        self->wheel_count -= n;
+        slot->len = 0;
+        for (Py_ssize_t i = 0; i < n; i++) {
+            HeapEntry e = slot->v[i];
+            if (ENTRY_STALE(e)) {
+                /* Stale soft-cancels carry no args tuple. */
+                Py_DECREF(e.fn);
+                continue;
+            }
+            /* heap_push takes over the slot's references. */
+            if (heap_push(self, e.time, e.seq, e.fn, e.args) < 0) {
+                /* OOM: heap_push released this entry; drop the rest. */
+                for (Py_ssize_t j = i + 1; j < n; j++) {
+                    Py_XDECREF(slot->v[j].fn);
+                    Py_XDECREF(slot->v[j].args);
+                }
+                self->cur0 = cur0 + 1;
+                return -1;
+            }
+        }
+    }
+    self->cur0 = cur0 + 1;
+    return 0;
+}
+
+/* True when the heap head may be dispatched without consulting the wheel. */
+#define HEAD_AUTHORITATIVE(self) \
+    ((self)->wheel_count == 0 || \
+     ((self)->heap[0].time >> L0_BITS) < (self)->cur0)
+
 static int
 Simulator_init(SimulatorObject *self, PyObject *args, PyObject *kwargs)
 {
@@ -247,6 +438,8 @@ Simulator_init(SimulatorObject *self, PyObject *args, PyObject *kwargs)
         PyErr_SetString(PyExc_TypeError, "Simulator() takes no arguments");
         return -1;
     }
+    const char *wheel_env = getenv("REPRO_TIMER_WHEEL");
+    self->wheel_on = !(wheel_env != NULL && strcmp(wheel_env, "0") == 0);
     return 0;
 }
 
@@ -257,11 +450,37 @@ Simulator_traverse(SimulatorObject *self, visitproc visit, void *arg)
         Py_VISIT(self->heap[i].fn);
         Py_VISIT(self->heap[i].args);
     }
+    for (int s = 0; s < 256; s++)
+        for (Py_ssize_t i = 0; i < self->l0[s].len; i++) {
+            Py_VISIT(self->l0[s].v[i].fn);
+            Py_VISIT(self->l0[s].v[i].args);
+        }
+    for (int s = 0; s < 64; s++)
+        for (Py_ssize_t i = 0; i < self->l1[s].len; i++) {
+            Py_VISIT(self->l1[s].v[i].fn);
+            Py_VISIT(self->l1[s].v[i].args);
+        }
+    for (Py_ssize_t i = 0; i < self->ovf.len; i++) {
+        Py_VISIT(self->ovf.v[i].fn);
+        Py_VISIT(self->ovf.v[i].args);
+    }
     return 0;
 }
 
+static void
+slot_clear_entries(WheelSlot *slot, Py_ssize_t *wheel_count)
+{
+    Py_ssize_t len = slot->len;
+    slot->len = 0;
+    *wheel_count -= len;
+    for (Py_ssize_t i = 0; i < len; i++) {
+        Py_XDECREF(slot->v[i].fn);
+        Py_XDECREF(slot->v[i].args);
+    }
+}
+
 static int
-Simulator_clear_heap(SimulatorObject *self)
+Simulator_clear_calendar(SimulatorObject *self)
 {
     Py_ssize_t len = self->len;
     self->len = 0;
@@ -269,6 +488,12 @@ Simulator_clear_heap(SimulatorObject *self)
         Py_XDECREF(self->heap[i].fn);
         Py_XDECREF(self->heap[i].args);
     }
+    for (int s = 0; s < 256; s++)
+        slot_clear_entries(&self->l0[s], &self->wheel_count);
+    for (int s = 0; s < 64; s++)
+        slot_clear_entries(&self->l1[s], &self->wheel_count);
+    slot_clear_entries(&self->ovf, &self->wheel_count);
+    self->wheel_count = 0;
     return 0;
 }
 
@@ -276,8 +501,13 @@ static void
 Simulator_dealloc(SimulatorObject *self)
 {
     PyObject_GC_UnTrack(self);
-    Simulator_clear_heap(self);
+    Simulator_clear_calendar(self);
     PyMem_Free(self->heap);
+    for (int s = 0; s < 256; s++)
+        PyMem_Free(self->l0[s].v);
+    for (int s = 0; s < 64; s++)
+        PyMem_Free(self->l1[s].v);
+    PyMem_Free(self->ovf.v);
     Py_TYPE(self)->tp_free((PyObject *)self);
 }
 
@@ -327,7 +557,7 @@ Simulator_schedule(SimulatorObject *self, PyObject *args)
     if (cargs == NULL)
         return NULL;
     Py_INCREF(fn);
-    if (heap_push(self, self->now + delay, self->seq++, fn, cargs) < 0)
+    if (admit(self, self->now + delay, self->seq++, fn, cargs) < 0)
         return NULL;
     Py_RETURN_NONE;
 }
@@ -352,7 +582,7 @@ Simulator_schedule_at(SimulatorObject *self, PyObject *args)
     if (cargs == NULL)
         return NULL;
     Py_INCREF(fn);
-    if (heap_push(self, time, self->seq++, fn, cargs) < 0)
+    if (admit(self, time, self->seq++, fn, cargs) < 0)
         return NULL;
     Py_RETURN_NONE;
 }
@@ -369,7 +599,7 @@ Simulator_call_soon(SimulatorObject *self, PyObject *args)
     if (cargs == NULL)
         return NULL;
     Py_INCREF(fn);
-    if (heap_push(self, self->now, self->seq++, fn, cargs) < 0)
+    if (admit(self, self->now, self->seq++, fn, cargs) < 0)
         return NULL;
     Py_RETURN_NONE;
 }
@@ -389,7 +619,7 @@ schedule_cancellable_common(SimulatorObject *self, long long time,
         return NULL;
     }
     Py_INCREF(handle);
-    if (heap_push(self, time, seq, (PyObject *)handle, NULL) < 0) {
+    if (admit(self, time, seq, (PyObject *)handle, NULL) < 0) {
         Py_DECREF(handle);
         return NULL;
     }
@@ -431,46 +661,65 @@ Simulator_schedule_at_cancellable(SimulatorObject *self, PyObject *args)
     return schedule_cancellable_common(self, time, args);
 }
 
+static PyObject *Simulator_timer(SimulatorObject *self, PyObject *args);
+
 static PyObject *
 Simulator_peek_time(SimulatorObject *self, PyObject *Py_UNUSED(ignored))
 {
-    while (self->len) {
-        HeapEntry *top = &self->heap[0];
-        if (top->args == NULL &&
-            ((EventHandleObject *)top->fn)->cancelled) {
-            HeapEntry dead;
-            heap_pop(self, &dead);
-            Py_DECREF(dead.fn);
+    for (;;) {
+        while (self->len) {
+            HeapEntry *top = &self->heap[0];
+            if (ENTRY_STALE(*top)) {
+                HeapEntry dead;
+                heap_pop(self, &dead);
+                Py_DECREF(dead.fn);
+                continue;
+            }
+            break;
+        }
+        if (self->len && HEAD_AUTHORITATIVE(self))
+            return PyLong_FromLongLong(self->heap[0].time);
+        if (self->wheel_count) {
+            if (pour_one(self) < 0)
+                return NULL;
             continue;
         }
-        return PyLong_FromLongLong(top->time);
+        Py_RETURN_NONE;
     }
-    Py_RETURN_NONE;
 }
 
 /* Pop the next live entry into (fn, args) with fresh references; returns
- * 0 when found, 1 when the calendar ran dry. Sets self->now. */
+ * 0 when found, 1 when the calendar ran dry (or `until` was reached),
+ * -1 on error. Sets self->now. */
 static int
 pop_live(SimulatorObject *self, long long until, int have_until,
          PyObject **fn_out, PyObject **args_out)
 {
-    while (self->len) {
+    for (;;) {
+        while (self->wheel_count &&
+               (self->len == 0 || !HEAD_AUTHORITATIVE(self))) {
+            if (pour_one(self) < 0)
+                return -1;
+        }
+        if (self->len == 0)
+            return 1;
         HeapEntry *top = &self->heap[0];
         if (have_until && top->time > until)
             return 1;
         HeapEntry cur;
         heap_pop(self, &cur);
         if (cur.args == NULL) {
-            EventHandleObject *handle = (EventHandleObject *)cur.fn;
-            if (handle->cancelled) {
-                Py_DECREF(handle);
+            SchedHead *owner = (SchedHead *)cur.fn;
+            if (owner->live_seq != cur.seq) {
+                Py_DECREF(cur.fn);
                 continue;
             }
-            PyObject *fn = handle->fn;
-            PyObject *cargs = handle->args;
+            owner->live_seq = -1;
+            PyObject *fn = owner->fn;
+            PyObject *cargs = owner->args;
             Py_INCREF(fn);
             Py_INCREF(cargs);
-            Py_DECREF(handle);
+            Py_DECREF(cur.fn);
             self->now = cur.time;
             *fn_out = fn;
             *args_out = cargs;
@@ -481,14 +730,16 @@ pop_live(SimulatorObject *self, long long until, int have_until,
         *args_out = cur.args;
         return 0;
     }
-    return 1;
 }
 
 static PyObject *
 Simulator_step(SimulatorObject *self, PyObject *Py_UNUSED(ignored))
 {
     PyObject *fn, *cargs;
-    if (pop_live(self, 0, 0, &fn, &cargs))
+    int rc = pop_live(self, 0, 0, &fn, &cargs);
+    if (rc < 0)
+        return NULL;
+    if (rc)
         Py_RETURN_FALSE;
     self->events_processed += 1;
     PyObject *res = PyObject_CallObject(fn, cargs);
@@ -533,12 +784,13 @@ Simulator_run(SimulatorObject *self, PyObject *args, PyObject *kwargs)
     long long processed = 0;
     int failed = 0;
     int hit_max = 0;
+    int rc;
     PyObject *fn, *cargs;
     if (!have_max) {
         /* The experiment hot loop: no per-event budget checks; the event
          * counter is folded in once on exit (matching the pure engine's
          * try/finally fold, including the exception path). */
-        while (!pop_live(self, until, have_until, &fn, &cargs)) {
+        while ((rc = pop_live(self, until, have_until, &fn, &cargs)) == 0) {
             processed += 1;
             PyObject *res = PyObject_CallObject(fn, cargs);
             Py_DECREF(fn);
@@ -549,14 +801,21 @@ Simulator_run(SimulatorObject *self, PyObject *args, PyObject *kwargs)
             }
             Py_DECREF(res);
         }
+        if (rc < 0)
+            failed = 1;
         self->events_processed += processed;
     } else {
-        while (self->len) {
+        while (self->len || self->wheel_count) {
             if (processed >= max_events) {
                 hit_max = 1;
                 break;
             }
-            if (pop_live(self, until, have_until, &fn, &cargs))
+            rc = pop_live(self, until, have_until, &fn, &cargs);
+            if (rc < 0) {
+                failed = 1;
+                break;
+            }
+            if (rc)
                 break;
             self->events_processed += 1;
             processed += 1;
@@ -589,19 +848,28 @@ Simulator_get_now(SimulatorObject *self, void *closure)
 static PyObject *
 Simulator_get_pending(SimulatorObject *self, void *closure)
 {
-    return PyLong_FromSsize_t(self->len);
+    return PyLong_FromSsize_t(self->len + self->wheel_count);
+}
+
+static Py_ssize_t
+count_live(HeapEntry *v, Py_ssize_t len)
+{
+    Py_ssize_t live = 0;
+    for (Py_ssize_t i = 0; i < len; i++)
+        if (!ENTRY_STALE(v[i]))
+            live += 1;
+    return live;
 }
 
 static PyObject *
 Simulator_get_pending_live(SimulatorObject *self, void *closure)
 {
-    Py_ssize_t live = 0;
-    for (Py_ssize_t i = 0; i < self->len; i++) {
-        HeapEntry *entry = &self->heap[i];
-        if (entry->args != NULL ||
-            !((EventHandleObject *)entry->fn)->cancelled)
-            live += 1;
-    }
+    Py_ssize_t live = count_live(self->heap, self->len);
+    for (int s = 0; s < 256; s++)
+        live += count_live(self->l0[s].v, self->l0[s].len);
+    for (int s = 0; s < 64; s++)
+        live += count_live(self->l1[s].v, self->l1[s].len);
+    live += count_live(self->ovf.v, self->ovf.len);
     return PyLong_FromSsize_t(live);
 }
 
@@ -618,6 +886,8 @@ static PyMethodDef Simulator_methods[] = {
     {"schedule_at_cancellable",
      (PyCFunction)Simulator_schedule_at_cancellable, METH_VARARGS,
      "Like schedule_at(), but returns a cancellable handle."},
+    {"timer", (PyCFunction)Simulator_timer, METH_VARARGS,
+     "Create a reusable soft-cancel Timer for fn(*args)."},
     {"peek_time", (PyCFunction)Simulator_peek_time, METH_NOARGS,
      "Time of the next live event, or None if the calendar is empty."},
     {"step", (PyCFunction)Simulator_step, METH_NOARGS,
@@ -631,6 +901,8 @@ static PyMethodDef Simulator_methods[] = {
 static PyMemberDef Simulator_members[] = {
     {"events_processed", T_LONGLONG,
      offsetof(SimulatorObject, events_processed), 0, NULL},
+    {"_wheel_on", T_BOOL, offsetof(SimulatorObject, wheel_on), READONLY,
+     NULL},
     {NULL, 0, 0, 0, NULL},
 };
 
@@ -642,7 +914,8 @@ static PyGetSetDef Simulator_getset[] = {
      "Number of events still in the calendar (including cancelled ones).",
      NULL},
     {"pending_live", (getter)Simulator_get_pending_live, NULL,
-     "Number of events still in the calendar, excluding cancelled ones.",
+     "Number of events still in the calendar, excluding cancelled and "
+     "stale ones.",
      NULL},
     {NULL, NULL, NULL, NULL, NULL},
 };
@@ -656,13 +929,172 @@ static PyTypeObject Simulator_Type = {
                 Py_TPFLAGS_BASETYPE,
     .tp_doc = "The event calendar and simulated clock (compiled build).",
     .tp_traverse = (traverseproc)Simulator_traverse,
-    .tp_clear = (inquiry)Simulator_clear_heap,
+    .tp_clear = (inquiry)Simulator_clear_calendar,
     .tp_methods = Simulator_methods,
     .tp_members = Simulator_members,
     .tp_getset = Simulator_getset,
     .tp_init = (initproc)Simulator_init,
     .tp_new = PyType_GenericNew,
 };
+
+/* ------------------------------------------------------------------ */
+/* Timer                                                               */
+/* ------------------------------------------------------------------ */
+
+static int
+Timer_traverse(TimerObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->head.fn);
+    Py_VISIT(self->head.args);
+    Py_VISIT(self->sim);
+    return 0;
+}
+
+static int
+Timer_clear(TimerObject *self)
+{
+    Py_CLEAR(self->head.fn);
+    Py_CLEAR(self->head.args);
+    Py_CLEAR(self->sim);
+    return 0;
+}
+
+static void
+Timer_dealloc(TimerObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Py_XDECREF(self->head.fn);
+    Py_XDECREF(self->head.args);
+    Py_XDECREF(self->sim);
+    PyObject_GC_Del(self);
+}
+
+static PyObject *
+Timer_schedule_at(TimerObject *self, PyObject *arg)
+{
+    long long time = as_longlong(arg);
+    if (time == -1 && PyErr_Occurred())
+        return NULL;
+    SimulatorObject *sim = (SimulatorObject *)self->sim;
+    if (time < sim->now)
+        return PyErr_Format(SimulationError,
+                            "cannot schedule at %lldns, already at %lldns",
+                            time, sim->now);
+    long long seq = sim->seq++;
+    self->head.time = time;
+    self->head.live_seq = seq;
+    Py_INCREF(self);
+    if (admit(sim, time, seq, (PyObject *)self, NULL) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Timer_schedule(TimerObject *self, PyObject *arg)
+{
+    long long delay = as_longlong(arg);
+    if (delay == -1 && PyErr_Occurred())
+        return NULL;
+    if (delay < 0)
+        return PyErr_Format(SimulationError,
+                            "cannot schedule %lldns in the past", delay);
+    SimulatorObject *sim = (SimulatorObject *)self->sim;
+    long long time = sim->now + delay;
+    long long seq = sim->seq++;
+    self->head.time = time;
+    self->head.live_seq = seq;
+    Py_INCREF(self);
+    if (admit(sim, time, seq, (PyObject *)self, NULL) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Timer_cancel(TimerObject *self, PyObject *Py_UNUSED(ignored))
+{
+    self->head.live_seq = -1;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Timer_get_armed(TimerObject *self, void *closure)
+{
+    return PyBool_FromLong(self->head.live_seq >= 0);
+}
+
+static PyObject *
+Timer_repr(TimerObject *self)
+{
+    if (self->head.live_seq >= 0)
+        return PyUnicode_FromFormat("<Timer armed t=%lld>", self->head.time);
+    return PyUnicode_FromString("<Timer idle>");
+}
+
+static PyMethodDef Timer_methods[] = {
+    {"schedule_at", (PyCFunction)Timer_schedule_at, METH_O,
+     "(Re-)arm at absolute time time_ns; supersedes any prior arm."},
+    {"schedule", (PyCFunction)Timer_schedule, METH_O,
+     "(Re-)arm delay_ns from now; supersedes any prior arm."},
+    {"cancel", (PyCFunction)Timer_cancel, METH_NOARGS,
+     "Disarm. Safe to call at any time, including when not armed."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyMemberDef Timer_members[] = {
+    {"time", T_LONGLONG, offsetof(TimerObject, head.time), READONLY, NULL},
+    {"fn", T_OBJECT_EX, offsetof(TimerObject, head.fn), READONLY, NULL},
+    {"args", T_OBJECT_EX, offsetof(TimerObject, head.args), READONLY, NULL},
+    {"_live_seq", T_LONGLONG, offsetof(TimerObject, head.live_seq), READONLY,
+     NULL},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyGetSetDef Timer_getset[] = {
+    {"armed", (getter)Timer_get_armed, NULL, NULL, NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyTypeObject Timer_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._speed._core.Timer",
+    .tp_basicsize = sizeof(TimerObject),
+    .tp_dealloc = (destructor)Timer_dealloc,
+    .tp_repr = (reprfunc)Timer_repr,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "A reusable soft-cancel timer bound to one callback.",
+    .tp_traverse = (traverseproc)Timer_traverse,
+    .tp_clear = (inquiry)Timer_clear,
+    .tp_methods = Timer_methods,
+    .tp_members = Timer_members,
+    .tp_getset = Timer_getset,
+};
+
+static PyObject *
+Simulator_timer(SimulatorObject *self, PyObject *args)
+{
+    if (PyTuple_GET_SIZE(args) < 1) {
+        PyErr_SetString(PyExc_TypeError, "timer() requires fn");
+        return NULL;
+    }
+    PyObject *fn = PyTuple_GET_ITEM(args, 0);
+    PyObject *cargs = pack_tail(args, 1);
+    if (cargs == NULL)
+        return NULL;
+    TimerObject *timer = PyObject_GC_New(TimerObject, &Timer_Type);
+    if (timer == NULL) {
+        Py_DECREF(cargs);
+        return NULL;
+    }
+    timer->head.time = 0;
+    timer->head.live_seq = -1;
+    Py_INCREF(fn);
+    timer->head.fn = fn;
+    timer->head.args = cargs; /* steals */
+    Py_INCREF(self);
+    timer->sim = (PyObject *)self;
+    PyObject_GC_Track((PyObject *)timer);
+    return (PyObject *)timer;
+}
 
 /* ------------------------------------------------------------------ */
 /* QUIC varints (RFC 9000 §16)                                         */
@@ -837,6 +1269,7 @@ PyInit__core(void)
     if (noop_fn == NULL)
         return NULL;
     if (PyType_Ready(&EventHandle_Type) < 0 ||
+        PyType_Ready(&Timer_Type) < 0 ||
         PyType_Ready(&Simulator_Type) < 0)
         return NULL;
     PyObject *mod = PyModule_Create(&core_module);
@@ -849,6 +1282,9 @@ PyInit__core(void)
     Py_INCREF(&EventHandle_Type);
     if (PyModule_AddObject(mod, "EventHandle",
                            (PyObject *)&EventHandle_Type) < 0)
+        return NULL;
+    Py_INCREF(&Timer_Type);
+    if (PyModule_AddObject(mod, "Timer", (PyObject *)&Timer_Type) < 0)
         return NULL;
     if (PyModule_AddObject(mod, "_noop", Py_NewRef(noop_fn)) < 0)
         return NULL;

@@ -32,8 +32,10 @@ still derived in one pass over the columns.
 
 from __future__ import annotations
 
+import gc
 import hashlib
 import json
+import os
 import time
 from collections import Counter
 from dataclasses import asdict, dataclass, field
@@ -76,6 +78,23 @@ BASE_CLIENT_PORT = 50000
 MAX_FLOWS = BASE_CLIENT_PORT - BASE_SERVER_PORT
 
 MTU_PAYLOAD = 1252
+
+
+class DrainSink:
+    """Terminal sink installed on a departed flow's demux routes.
+
+    A retired flow's ports stay routed — to this counter instead of the
+    torn-down socket — so straggler datagrams (a retransmission in flight at
+    teardown, a late ACK) are absorbed and *counted* rather than inflating
+    the demux ``unrouted`` total, which the conservation validator reserves
+    for genuine wiring bugs.
+    """
+
+    def __init__(self) -> None:
+        self.drained = 0
+
+    def receive(self, dgram) -> None:
+        self.drained += 1
 
 
 @dataclass(frozen=True)
@@ -143,6 +162,9 @@ class MultiFlowResult:
     #: Datagrams the port demuxes could not route (always a wiring bug; the
     #: conservation validator gates on zero).
     unrouted: int = 0
+    #: Straggler datagrams absorbed by departed flows' drain sinks (churn
+    #: runs only; always 0 without churn).
+    drained: int = 0
     #: Per-stage impairment counters, keyed ``"{dir}/{index}/{kind}"``.
     impairment_stats: dict = field(default_factory=dict)
     #: Execution observability, excluded from the fingerprint.
@@ -209,6 +231,10 @@ class MultiFlowResult:
                 for f in self.flows
             ],
         }
+        # Churn teardown accounting; omitted when zero so every pre-churn
+        # golden fingerprint stays valid byte-for-byte.
+        if self.drained:
+            payload["drained"] = self.drained
         encoded = json.dumps(payload, sort_keys=True).encode()
         return hashlib.sha256(encoded).hexdigest()
 
@@ -232,14 +258,30 @@ class _Flow:
         self.client_driver: Optional[ClientDriver] = None
         self.tcp_sender: Optional[TcpSender] = None
         self.tcp_receiver: Optional[TcpReceiver] = None
+        #: Endpoint refs kept only for churn teardown.
+        self.client_sock = None
+        self.server_sock = None
+        self.per_flow_delay = None
+        #: Frozen (start, end, bytes) snapshot taken at retirement; after
+        #: teardown the live objects are gone and these answer for them.
+        self._frozen: Optional[tuple[int, int, int]] = None
 
     @property
     def done(self) -> bool:
+        if self._frozen is not None:
+            return True
         if self.tcp_receiver is not None:
             return self.tcp_receiver.done
         return self.client_driver is not None and self.client_driver.done
 
+    def freeze(self, now: int) -> None:
+        """Snapshot the result-facing state ahead of teardown."""
+        start, end = self.timing(now)
+        self._frozen = (start, end, self.bytes_delivered())
+
     def timing(self, fallback_now: int) -> tuple[int, int]:
+        if self._frozen is not None:
+            return self._frozen[0], self._frozen[1]
         if self.tcp_receiver is not None:
             start = self.tcp_sender.started_at or self.spec.start_ns
             end = self.tcp_receiver.completed_at or fallback_now
@@ -250,6 +292,8 @@ class _Flow:
 
     def bytes_delivered(self) -> int:
         """Application bytes the receiver actually got (contiguous)."""
+        if self._frozen is not None:
+            return self._frozen[2]
         if self.tcp_receiver is not None:
             # rcv_nxt is the contiguous in-order frontier; the FIN carries no
             # payload, so it never exceeds the file size.
@@ -280,6 +324,8 @@ class MultiFlowExperiment:
         seed: int = 1,
         max_sim_time_ns: int = seconds(300),
         capture_records: bool = True,
+        churn: bool = False,
+        profile_events: bool = False,
     ):
         if not flows:
             raise ValueError("at least one flow is required")
@@ -293,10 +339,21 @@ class MultiFlowExperiment:
         self.seed = seed
         self.max_sim_time_ns = max_sim_time_ns
         self.capture_records = capture_records
-        self.sim = Simulator()
+        self.churn = churn
+        self.profile_events = (
+            profile_events or os.environ.get("REPRO_EVENT_CENSUS") == "1"
+        )
+        if self.profile_events:
+            from repro.sim.census import CensusSimulator
+
+            self.sim = CensusSimulator()
+        else:
+            self.sim = Simulator()
         self.rngs = RngRegistry(seed)
         self.sniffer = Sniffer()
         self._flows: List[_Flow] = []
+        #: Shared terminal sink for every departed flow's ports.
+        self._drain = DrainSink()
         reset_dgram_ids()
         reset_gso_ids()
         self._build()
@@ -382,6 +439,7 @@ class MultiFlowExperiment:
             # Heterogeneous per-flow RTT: extra one-way delay on this flow's
             # reverse path only, inserted between the shared demux and the
             # server socket so the shared forward queue stays untouched.
+            per_flow_delay = None
             if spec.extra_rtt_ns > 0:
                 per_flow_delay = NetemQdisc(
                     self.sim,
@@ -399,6 +457,20 @@ class MultiFlowExperiment:
                 flow.tcp_receiver = TcpReceiver(self.sim, client_sock, spec.file_size)
             else:
                 self._build_quic_flow(flow, spec, server_sock, client_sock, rng_tag)
+
+            flow.client_sock = client_sock
+            flow.server_sock = server_sock
+            flow.per_flow_delay = per_flow_delay
+            if self.profile_events:
+                from repro.sim.census import tag
+
+                for component in (
+                    client_sock, server_sock, link, nic, segmenter, qdisc,
+                    per_flow_delay, flow.server_driver, flow.client_driver,
+                    flow.tcp_sender, flow.tcp_receiver,
+                ):
+                    if component is not None:
+                        tag(component, index)
 
     def _build_quic_flow(self, flow, spec, server_sock, client_sock, rng_tag) -> None:
         overrides = {}
@@ -460,14 +532,76 @@ class MultiFlowExperiment:
             else:
                 self.sim.schedule_at(flow.spec.start_ns, flow.client_driver.start)
 
-        chunk = ms(200)
-        while not all(f.done for f in self._flows) and self.sim.now < self.max_sim_time_ns:
-            before = self.sim.events_processed
-            self.sim.run(until=self.sim.now + chunk)
-            if self.sim.events_processed == before and self.sim.peek_time() is None:
-                break
+        # Steady-state traffic allocates and frees at a rate that makes the
+        # cyclic GC's periodic full scans pure overhead (the object graph
+        # has no growing cycles; retirement breaks the per-flow ones
+        # explicitly). Results are identical either way; set
+        # REPRO_GC_DURING_RUN=1 to keep the collector running.
+        gc_paused = gc.isenabled() and os.environ.get("REPRO_GC_DURING_RUN") != "1"
+        if gc_paused:
+            gc.disable()
+        try:
+            chunk = ms(200)
+            active = list(self._flows)
+            while active and self.sim.now < self.max_sim_time_ns:
+                before = self.sim.events_processed
+                self.sim.run(until=self.sim.now + chunk)
+                if any(f.done for f in active):
+                    if self.churn:
+                        for f in active:
+                            if f.done:
+                                self._retire(f)
+                    active = [f for f in active if not f.done]
+                if (
+                    active
+                    and self.sim.events_processed == before
+                    and self.sim.peek_time() is None
+                ):
+                    break
+        finally:
+            if gc_paused:
+                gc.enable()
 
         return self._collect(wall_start)
+
+    def _retire(self, flow: _Flow) -> None:
+        """Tear down a finished flow: freeze its result-facing state, silence
+        every timer it could re-arm, reroute its ports to the drain sink, and
+        drop the references so a long churn run holds O(active) state.
+
+        Straggler datagrams already in flight keep their own pipeline stages
+        alive until delivered; they terminate in :class:`DrainSink` (counted
+        as ``drained``) instead of a dead socket.
+        """
+        flow.freeze(self.sim.now)
+        if flow.tcp_sender is not None:
+            flow.tcp_sender.detach()
+            flow.tcp_receiver.detach()
+        else:
+            flow.server_driver.detach()
+            flow.client_driver.detach()
+        self.client_demux.add_route(flow.client_port, self._drain)
+        self.server_demux.add_route(flow.server_port, self._drain)
+        # The per-flow extra-RTT stage sits *between* the shared demux and
+        # the server socket, so rerouting the demux alone would still let
+        # ACKs already inside the delay line hit the dead socket tens of
+        # milliseconds from now (and, for TCP, trigger a whole go-back-N
+        # burst). Point its sink at the drain too.
+        if flow.per_flow_delay is not None:
+            flow.per_flow_delay.sink = self._drain
+        if self.profile_events:
+            self.sim.mark_departed(flow.index)
+        flow.server_driver = None
+        flow.client_driver = None
+        flow.tcp_sender = None
+        flow.tcp_receiver = None
+        flow.client_sock = None
+        flow.server_sock = None
+        flow.per_flow_delay = None
+
+    def census_report(self) -> Optional[dict]:
+        """The event census (``profile_events`` runs only)."""
+        return self.sim.report() if self.profile_events else None
 
     def _collect(self, wall_start: float) -> MultiFlowResult:
         # One columnar pass: frames on the wire per server port. The tap sees
@@ -537,6 +671,7 @@ class MultiFlowExperiment:
             injected_drops=sum(s.stats.injected_drops for s in self.fwd_impairments),
             ack_drops=sum(s.stats.injected_drops for s in self.rev_impairments),
             unrouted=self.client_demux.unrouted + self.server_demux.unrouted,
+            drained=self._drain.drained,
             impairment_stats=impairment_stats,
             events_processed=self.sim.events_processed,
             wall_time_s=time.perf_counter() - wall_start,

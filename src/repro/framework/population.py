@@ -130,6 +130,13 @@ class PopulationConfig:
     #: Materialize per-flow CaptureRecord lists (O(flows × packets) memory);
     #: populations default to columnar-only capture.
     capture_records: bool = False
+    #: Flow churn: tear each flow down when it completes (timers silenced,
+    #: ports rerouted to a counting drain, references dropped) so a
+    #: steady-state population holds O(active) state instead of
+    #: O(ever-created). Off by default: teardown cuts post-completion
+    #: traffic (e.g. a TCP sender's FIN retransmissions), which perturbs the
+    #: shared queue other flows see, so churn runs fingerprint differently.
+    churn: bool = False
 
     def validate(self) -> None:
         if not 1 <= self.flows <= MAX_FLOWS:
@@ -177,8 +184,16 @@ class PopulationConfig:
 
     def cache_key(self) -> str:
         """Stable content hash over all fields (same scheme as
-        :meth:`ExperimentConfig.cache_key`: sorted-JSON of ``asdict``)."""
-        payload = json.dumps(asdict(self), sort_keys=True)
+        :meth:`ExperimentConfig.cache_key`: sorted-JSON of ``asdict``).
+
+        Fields added after a cache generation shipped are stripped at their
+        default value, so every pre-existing key (and the sweep caches built
+        on them) stays valid.
+        """
+        fields = asdict(self)
+        if not fields["churn"]:
+            del fields["churn"]
+        payload = json.dumps(fields, sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()
 
 
@@ -281,6 +296,9 @@ class PopulationResult:
     beats: List[Tuple[str, str]]
     #: Triples (a, b, c): a beats b, b beats c, but not a beats c.
     transitivity: List[Tuple[str, str, str]]
+    #: Per-component event census (``profile_events`` runs only); pure
+    #: observability, never part of the fingerprint.
+    census: Optional[Dict[str, object]] = None
 
     # -- duck-typed result surface (sweep/_emit/summarize/journal) ---------
 
@@ -413,15 +431,29 @@ def duel_analysis(
     }
 
 
-def run_population(config: PopulationConfig, seed: Optional[int] = None) -> PopulationResult:
-    """Generate the population for (config, seed) and run it to completion."""
+def run_population(
+    config: PopulationConfig,
+    seed: Optional[int] = None,
+    profile_events: bool = False,
+) -> PopulationResult:
+    """Generate the population for (config, seed) and run it to completion.
+
+    ``profile_events=True`` (or ``REPRO_EVENT_CENSUS=1``) runs under the
+    :class:`~repro.sim.census.CensusSimulator` and attaches the
+    per-component event census to the result.
+    """
     seed = config.seed if seed is None else seed
     specs = FlowPopulation(config).specs(seed)
-    multi = MultiFlowExperiment(
+    experiment = MultiFlowExperiment(
         specs,
         network=config.network,
         seed=seed,
         max_sim_time_ns=config.max_sim_time_ns,
         capture_records=config.capture_records,
-    ).run()
-    return aggregate_population(config, seed, multi)
+        churn=config.churn,
+        profile_events=profile_events,
+    )
+    multi = experiment.run()
+    result = aggregate_population(config, seed, multi)
+    result.census = experiment.census_report()
+    return result

@@ -26,7 +26,7 @@ from typing import Optional
 from repro.kernel.qdisc.base import Qdisc
 from repro.net.packet import Datagram, PacketSink
 from repro.sim.clock import JitterModel
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import Simulator
 from repro.units import us
 
 
@@ -56,7 +56,7 @@ class EtfQdisc(Qdisc):
         self.rng = rng or random.Random(0)
         self._heap: list[tuple[int, int, Datagram]] = []
         self._seq = itertools.count()
-        self._timer: Optional[EventHandle] = None
+        self._timer = sim.timer(self._watchdog)
         self._last_emit_at = 0
 
     def enqueue(self, dgram: Datagram) -> None:
@@ -82,14 +82,11 @@ class EtfQdisc(Qdisc):
         wake_at = max(head_time - self.delta_ns, self.sim.now)
         if self.watchdog_latency_max_ns > 0:
             wake_at += self.rng.randrange(0, self.watchdog_latency_max_ns + 1)
-        if self._timer is not None and not self._timer.cancelled:
-            if self._timer.time <= wake_at:
-                return
-            self._timer.cancel()
-        self._timer = self.sim.schedule_at_cancellable(wake_at, self._watchdog)
+        if self._timer.armed and self._timer.time <= wake_at:
+            return
+        self._timer.schedule_at(wake_at)
 
     def _watchdog(self) -> None:
-        self._timer = None
         now = self.sim.now
         while self._heap and self._heap[0][0] - self.delta_ns <= now:
             txtime, _seq, dgram = heapq.heappop(self._heap)

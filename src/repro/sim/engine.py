@@ -1,59 +1,143 @@
 """Nanosecond-resolution discrete-event engine.
 
-The engine is a classic calendar built on a binary heap. Events scheduled for
-the same instant fire in scheduling order (FIFO), which keeps simulations
-deterministic for a fixed seed.
+The engine is a calendar built on a binary heap fronted by a two-level
+hierarchical timer wheel. Events scheduled for the same instant fire in
+scheduling order (FIFO), which keeps simulations deterministic for a fixed
+seed.
 
-Hot-path design: heap entries are plain ``(time, seq, fn, args)`` tuples, so
-ordering is decided by C-level tuple comparison on ``(time, seq)`` — no
-``__lt__`` dispatch into Python, and no per-event handle allocation. The few
-call sites that actually cancel events (recovery timers, pacers, qdisc
-watchdogs) go through :meth:`Simulator.schedule_cancellable` /
-:meth:`Simulator.schedule_at_cancellable`, which allocate an
-:class:`EventHandle` and push ``(time, seq, handle, None)`` instead; the
-``args is None`` sentinel is how the run loop tells the two entry shapes
-apart without an isinstance check.
+Hot-path design: calendar entries are plain ``(time, seq, fn, args)``
+tuples, so ordering is decided by C-level tuple comparison on ``(time,
+seq)`` — no ``__lt__`` dispatch into Python, and no per-event handle
+allocation. The call sites that cancel or re-arm events go through
+:meth:`Simulator.schedule_cancellable` / :meth:`Simulator.schedule_at_cancellable`
+(one-shot :class:`EventHandle`) or :meth:`Simulator.timer` (reusable
+:class:`Timer`); both push ``(time, seq, obj, None)`` entries — the ``args
+is None`` sentinel is how the run loop tells the two entry shapes apart
+without an isinstance check.
+
+Timer wheel (``REPRO_TIMER_WHEEL=0`` disables it; results are bit-identical
+either way):
+
+* L0: 256 slots of 2^20 ns (~1.05 ms) — covers ~268 ms ahead.
+* L1: 64 slots of 2^28 ns (~268 ms) — covers ~17.2 s ahead.
+* Overflow list beyond that, rescanned once per L1 wrap.
+
+Admission appends to a slot list in O(1) instead of paying an O(log n)
+heap sift for every far-future deadline. A slot is *poured* into the heap
+only when the clock is about to enter it (pour-before-trust: the heap head
+is never dispatched while an unpoured slot could still precede it), so
+events within one slot are heapified as a single batch — this is what makes
+thousands of per-flow pacing/ACK/PTO deadlines cheap. Because the heap
+performs the final ``(time, seq)`` ordering, wheel-on and wheel-off runs
+fire events in exactly the same order.
+
+Soft cancel: cancelling or re-arming never searches the calendar. Each
+cancellable entry records the owner's generation (the global ``seq`` it was
+armed with); :meth:`EventHandle.cancel` / :meth:`Timer.cancel` /
+re-arming simply bump the owner's ``_live_seq`` so stale entries no longer
+match and are dropped for free at pour or pop time.
 """
 
 from __future__ import annotations
 
+import os
 from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 
+#: L0 slot width is 2^20 ns (~1.05 ms); 256 slots cover ~268 ms.
+_L0_BITS = 20
+#: L1 slot width is 2^28 ns (~268 ms); 64 slots cover ~17.2 s.
+_L1_BITS = 28
+
 
 class EventHandle:
-    """A cancellable reference to an event scheduled via
-    :meth:`Simulator.schedule_cancellable`."""
+    """A cancellable reference to a one-shot event scheduled via
+    :meth:`Simulator.schedule_cancellable`.
 
-    __slots__ = ("time", "seq", "fn", "args", "_cancelled")
+    ``cancelled`` is True once the event can no longer fire — either
+    because :meth:`cancel` was called or because it already fired.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "_live_seq")
 
     def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
-        self._cancelled = False
+        self._live_seq = seq
 
     def cancel(self) -> None:
         """Prevent the event from firing. Safe to call more than once."""
-        self._cancelled = True
+        self._live_seq = -1
         # Drop references so cancelled events don't pin objects in the heap.
         self.fn = _noop
         self.args = ()
 
     @property
     def cancelled(self) -> bool:
-        return self._cancelled
+        return self._live_seq != self.seq
 
     def __repr__(self) -> str:
-        state = "cancelled" if self._cancelled else "pending"
+        state = "cancelled" if self.cancelled else "pending"
         return f"<EventHandle t={self.time} seq={self.seq} {state}>"
 
 
 def _noop(*_args: Any) -> None:
     return None
+
+
+class Timer:
+    """A reusable soft-cancel timer bound to one callback.
+
+    Re-arming (``schedule``/``schedule_at``) allocates nothing and never
+    touches the previously armed calendar entry: the stale entry simply
+    stops matching the timer's generation and is discarded for free when
+    the calendar reaches it. This is what per-flow ACK/PTO/pacing
+    deadlines use — they re-arm on nearly every packet.
+    """
+
+    __slots__ = ("time", "fn", "args", "_live_seq", "_sim")
+
+    def __init__(self, sim: "Simulator", fn: Callable[..., Any], args: tuple):
+        self._sim = sim
+        self.fn = fn
+        self.args = args
+        self.time = 0
+        self._live_seq = -1
+
+    def schedule_at(self, time_ns: int) -> None:
+        """(Re-)arm at absolute time ``time_ns``; supersedes any prior arm."""
+        sim = self._sim
+        if time_ns < sim._now:
+            raise SimulationError(
+                f"cannot schedule at {time_ns}ns, already at {sim._now}ns"
+            )
+        seq = sim._seq
+        sim._seq = seq + 1
+        self.time = time_ns
+        self._live_seq = seq
+        sim._admit(time_ns, seq, self, None)
+
+    def schedule(self, delay_ns: int) -> None:
+        """(Re-)arm ``delay_ns`` from now; supersedes any prior arm."""
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule {delay_ns}ns in the past")
+        self.schedule_at(self._sim._now + delay_ns)
+
+    def cancel(self) -> None:
+        """Disarm. Safe to call at any time, including when not armed."""
+        self._live_seq = -1
+
+    @property
+    def armed(self) -> bool:
+        return self._live_seq >= 0
+
+    def __repr__(self) -> str:
+        state = f"armed t={self.time}" if self._live_seq >= 0 else "idle"
+        return f"<Timer {state}>"
 
 
 class Simulator:
@@ -67,9 +151,11 @@ class Simulator:
     """
 
     #: Bound at class definition so the build-mode rebind at module tail
-    #: (which shadows the module-global ``EventHandle`` with the C class)
-    #: cannot swap the handle type out from under the pure implementation.
+    #: (which shadows the module-global ``EventHandle``/``Timer`` with the
+    #: C classes) cannot swap the types out from under the pure
+    #: implementation.
     _handle_cls = EventHandle
+    _timer_cls = Timer
 
     def __init__(self) -> None:
         self._now = 0
@@ -77,11 +163,91 @@ class Simulator:
         self._heap: list[tuple] = []
         self._running = False
         self.events_processed = 0
+        # Timer wheel state. `_cur0` is the absolute index of the next L0
+        # slot to pour; every calendar entry with time < (_cur0 << 20) is
+        # guaranteed to be in the heap (the pour boundary).
+        self._wheel_on = os.environ.get("REPRO_TIMER_WHEEL", "1") != "0"
+        self._l0: list[list] = [[] for _ in range(256)]
+        self._l1: list[list] = [[] for _ in range(64)]
+        self._overflow: list = []
+        self._cur0 = 0
+        self._wheel_count = 0
 
     @property
     def now(self) -> int:
         """Current simulation time in nanoseconds."""
         return self._now
+
+    # -- admission ------------------------------------------------------
+
+    def _admit(self, time_ns: int, seq: int, fn, args) -> None:
+        """Place one calendar entry: heap if it precedes the pour boundary,
+        otherwise the cheapest wheel level that can hold it."""
+        slot0 = time_ns >> _L0_BITS
+        cur0 = self._cur0
+        if not self._wheel_on or slot0 < cur0:
+            _heappush(self._heap, (time_ns, seq, fn, args))
+            return
+        if self._wheel_count == 0:
+            # Empty wheel: fast-forward the pour boundary so sparse
+            # calendars never pay per-slot pour scans to catch up.
+            if slot0 > cur0:
+                self._cur0 = cur0 = slot0
+            self._l0[slot0 & 255].append((time_ns, seq, fn, args))
+            self._wheel_count = 1
+            return
+        if slot0 - cur0 < 256:
+            self._l0[slot0 & 255].append((time_ns, seq, fn, args))
+        else:
+            slot1 = time_ns >> _L1_BITS
+            if slot1 - (cur0 >> 8) < 64:
+                self._l1[slot1 & 63].append((time_ns, seq, fn, args))
+            else:
+                self._overflow.append((time_ns, seq, fn, args))
+        self._wheel_count += 1
+
+    def _pour_one(self) -> None:
+        """Pour the next L0 slot into the heap and advance the boundary.
+
+        Stale soft-cancelled entries are dropped here without ever paying
+        a heap sift. Crossing an L0 ring boundary cascades the matching L1
+        slot down; crossing an L1 ring boundary first rescans the overflow
+        list for entries that now fit the wheel horizon.
+        """
+        cur0 = self._cur0
+        if (cur0 & 255) == 0:
+            cur1 = cur0 >> 8
+            if (cur1 & 63) == 0 and self._overflow:
+                keep = []
+                for entry in self._overflow:
+                    if (entry[0] >> _L1_BITS) - cur1 < 64:
+                        if (entry[0] >> _L0_BITS) - cur0 < 256:
+                            self._l0[(entry[0] >> _L0_BITS) & 255].append(entry)
+                        else:
+                            self._l1[(entry[0] >> _L1_BITS) & 63].append(entry)
+                    else:
+                        keep.append(entry)
+                self._overflow = keep
+            slot1 = self._l1[cur1 & 63]
+            if slot1:
+                l0 = self._l0
+                for entry in slot1:
+                    l0[(entry[0] >> _L0_BITS) & 255].append(entry)
+                self._l1[cur1 & 63] = []
+        slot = self._l0[cur0 & 255]
+        if slot:
+            heap = self._heap
+            for entry in slot:
+                # args-is-None entries are soft-cancellable: the owner's
+                # generation must still match the entry's seq.
+                if entry[3] is None and entry[2]._live_seq != entry[1]:
+                    continue
+                _heappush(heap, entry)
+            self._wheel_count -= len(slot)
+            self._l0[cur0 & 255] = []
+        self._cur0 = cur0 + 1
+
+    # -- scheduling -----------------------------------------------------
 
     def schedule(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` to run ``delay_ns`` from now."""
@@ -89,7 +255,7 @@ class Simulator:
             raise SimulationError(f"cannot schedule {delay_ns}ns in the past")
         seq = self._seq
         self._seq = seq + 1
-        _heappush(self._heap, (self._now + delay_ns, seq, fn, args))
+        self._admit(self._now + delay_ns, seq, fn, args)
 
     def schedule_at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` at absolute time ``time_ns``."""
@@ -99,22 +265,21 @@ class Simulator:
             )
         seq = self._seq
         self._seq = seq + 1
-        _heappush(self._heap, (time_ns, seq, fn, args))
+        self._admit(time_ns, seq, fn, args)
 
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` at the current instant (after pending same-time events)."""
         seq = self._seq
         self._seq = seq + 1
-        _heappush(self._heap, (self._now, seq, fn, args))
+        self._admit(self._now, seq, fn, args)
 
     def schedule_cancellable(
         self, delay_ns: int, fn: Callable[..., Any], *args: Any
     ) -> EventHandle:
         """Like :meth:`schedule`, but returns a cancellable handle.
 
-        Reserved for the few call sites that actually cancel (recovery/RTO
-        timers, pacer deadlines, qdisc watchdogs); everything else takes the
-        allocation-free fast path.
+        For one-shot cancellations; a deadline that is re-armed repeatedly
+        should hold a reusable :meth:`timer` instead.
         """
         if delay_ns < 0:
             raise SimulationError(f"cannot schedule {delay_ns}ns in the past")
@@ -131,52 +296,79 @@ class Simulator:
         seq = self._seq
         self._seq = seq + 1
         handle = self._handle_cls(time_ns, seq, fn, args)
-        _heappush(self._heap, (time_ns, seq, handle, None))
+        self._admit(time_ns, seq, handle, None)
         return handle
+
+    def timer(self, fn: Callable[..., Any], *args: Any) -> Timer:
+        """Create a reusable soft-cancel :class:`Timer` for ``fn(*args)``.
+
+        Allocate once per recurring deadline (RTO, delayed-ACK, pacer,
+        process wake-up) and re-arm it for free ever after.
+        """
+        return self._timer_cls(self, fn, args)
+
+    # -- introspection --------------------------------------------------
 
     @property
     def pending(self) -> int:
         """Number of events still in the calendar (including cancelled ones)."""
-        return len(self._heap)
+        return len(self._heap) + self._wheel_count
 
     @property
     def pending_live(self) -> int:
-        """Number of events still in the calendar, excluding cancelled ones.
+        """Number of events still in the calendar, excluding cancelled and
+        stale (re-armed) ones.
 
         O(n); intended for diagnostics, not the run loop.
         """
-        return sum(
-            1
-            for entry in self._heap
-            if entry[3] is not None or not entry[2]._cancelled
-        )
+        live = 0
+        for entries in (self._heap, self._overflow, *self._l0, *self._l1):
+            for entry in entries:
+                if entry[3] is not None or entry[2]._live_seq == entry[1]:
+                    live += 1
+        return live
 
     def peek_time(self) -> Optional[int]:
         """Time of the next live event, or None if the calendar is empty."""
         heap = self._heap
-        while heap:
-            entry = heap[0]
-            if entry[3] is None and entry[2]._cancelled:
-                _heappop(heap)
+        while True:
+            while heap:
+                entry = heap[0]
+                if entry[3] is None and entry[2]._live_seq != entry[1]:
+                    _heappop(heap)
+                    continue
+                break
+            if heap and (
+                self._wheel_count == 0 or (heap[0][0] >> _L0_BITS) < self._cur0
+            ):
+                return heap[0][0]
+            if self._wheel_count:
+                self._pour_one()
                 continue
-            return entry[0]
-        return None
+            return None
 
     def step(self) -> bool:
         """Run the next live event. Returns False if there was none."""
         heap = self._heap
-        while heap:
-            time_ns, _seq, fn, args = _heappop(heap)
-            if args is None:  # cancellable entry: fn is the EventHandle
-                if fn._cancelled:
-                    continue
-                args = fn.args
-                fn = fn.fn
-            self._now = time_ns
-            self.events_processed += 1
-            fn(*args)
-            return True
-        return False
+        while True:
+            if heap and (
+                self._wheel_count == 0 or (heap[0][0] >> _L0_BITS) < self._cur0
+            ):
+                time_ns, seq, fn, args = _heappop(heap)
+                if args is None:  # soft-cancellable: fn is the handle/timer
+                    if fn._live_seq != seq:
+                        continue
+                    fn._live_seq = -1
+                    args = fn.args
+                    fn = fn.fn
+                self._now = time_ns
+                self.events_processed += 1
+                fn(*args)
+                return True
+            if self._wheel_count:
+                self._pour_one()
+                continue
+            return False
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
         """Run events until the calendar is empty, ``until`` is reached, or
@@ -186,8 +378,9 @@ class Simulator:
         even if the calendar empties earlier.
 
         One inlined loop: the head entry is inspected once and popped once
-        per event (cancelled entries are skipped in the same pass), instead
-        of the peek-then-step double heap scan.
+        per event (stale soft-cancelled entries are skipped in the same
+        pass); unpoured wheel slots are poured exactly when the head could
+        otherwise overtake them.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
@@ -200,40 +393,58 @@ class Simulator:
                 # The experiment hot loop: no per-event budget checks, and
                 # the event counter is folded in once on exit.
                 try:
-                    while heap:
+                    while True:
+                        if heap and (
+                            self._wheel_count == 0
+                            or (heap[0][0] >> _L0_BITS) < self._cur0
+                        ):
+                            entry = heap[0]
+                            if until is not None and entry[0] > until:
+                                break
+                            pop(heap)
+                            time_ns, seq, fn, args = entry
+                            if args is None:  # soft-cancellable entry
+                                if fn._live_seq != seq:
+                                    continue
+                                fn._live_seq = -1
+                                args = fn.args
+                                fn = fn.fn
+                            self._now = time_ns
+                            processed += 1
+                            fn(*args)
+                        elif self._wheel_count:
+                            self._pour_one()
+                        else:
+                            break
+                finally:
+                    self.events_processed += processed
+            else:
+                while True:
+                    if heap and (
+                        self._wheel_count == 0
+                        or (heap[0][0] >> _L0_BITS) < self._cur0
+                    ):
+                        if processed >= max_events:
+                            return
                         entry = heap[0]
                         if until is not None and entry[0] > until:
                             break
                         pop(heap)
-                        time_ns, _seq, fn, args = entry
-                        if args is None:  # cancellable: fn is the EventHandle
-                            if fn._cancelled:
+                        time_ns, seq, fn, args = entry
+                        if args is None:  # soft-cancellable entry
+                            if fn._live_seq != seq:
                                 continue
+                            fn._live_seq = -1
                             args = fn.args
                             fn = fn.fn
                         self._now = time_ns
+                        self.events_processed += 1
                         processed += 1
                         fn(*args)
-                finally:
-                    self.events_processed += processed
-            else:
-                while heap:
-                    if processed >= max_events:
-                        return
-                    entry = heap[0]
-                    if until is not None and entry[0] > until:
+                    elif self._wheel_count:
+                        self._pour_one()
+                    else:
                         break
-                    pop(heap)
-                    time_ns, _seq, fn, args = entry
-                    if args is None:  # cancellable entry: fn is the EventHandle
-                        if fn._cancelled:
-                            continue
-                        args = fn.args
-                        fn = fn.fn
-                    self._now = time_ns
-                    self.events_processed += 1
-                    processed += 1
-                    fn(*args)
             if until is not None and until > self._now:
                 self._now = until
         finally:
@@ -250,6 +461,7 @@ class Simulator:
 
 PureSimulator = Simulator
 PureEventHandle = EventHandle
+PureTimer = Timer
 
 from repro import _build as _build  # noqa: E402 - deliberate tail import
 
@@ -257,6 +469,7 @@ _core = _build.compiled_core()
 if _core is not None:
     Simulator = _core.Simulator  # type: ignore[misc]
     EventHandle = _core.EventHandle  # type: ignore[misc]
+    Timer = _core.Timer  # type: ignore[misc]
     _build.register("repro.sim.engine", "compiled")
 else:
     _build.register("repro.sim.engine", "pure")

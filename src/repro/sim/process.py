@@ -21,7 +21,11 @@ from math import exp as _exp
 from typing import Callable, Optional
 
 from repro.sim.clock import TimerModel, PERFECT_TIMER
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import Simulator
+
+#: Sentinel deadline installed by :meth:`SimProcess.detach`: every real
+#: deadline compares >= it, so ``arm_timer`` early-exits without scheduling.
+_DETACHED = -(1 << 62)
 
 
 class SimProcess:
@@ -31,6 +35,10 @@ class SimProcess:
     pending wake-up at a time: re-arming with an earlier deadline replaces the
     pending one; re-arming with a later deadline is ignored (the loop will
     re-evaluate and re-arm when it runs).
+
+    The wake-up is a single reusable soft-cancel
+    :class:`~repro.sim.engine.Timer`, so the tens of thousands of re-arms a
+    run performs allocate nothing and never search the calendar.
     """
 
     def __init__(
@@ -44,7 +52,7 @@ class SimProcess:
         self.name: str = name
         self.timer_model: TimerModel = timer_model
         self.rng: random.Random = rng or random.Random(0)
-        self._pending: Optional[EventHandle] = None
+        self._timer = sim.timer(self._fire)
         self._pending_deadline: Optional[int] = None
         self.wakeups: int = 0
         # Timer-model parameters unpacked for the inline fire-time math.
@@ -58,11 +66,9 @@ class SimProcess:
 
     def arm_timer(self, deadline_ns: int) -> None:
         """Ask to be woken at ``deadline_ns`` (modulo timer imprecision)."""
-        pending = self._pending
-        if pending is not None and self._pending_deadline is not None:
-            if deadline_ns >= self._pending_deadline:
-                return
-            pending.cancel()
+        pending_deadline = self._pending_deadline
+        if pending_deadline is not None and deadline_ns >= pending_deadline:
+            return
         sim = self.sim
         now = sim._now
         # Inline TimerModel.fire_time: clamp, grid-round up, add overhead
@@ -80,7 +86,7 @@ class SimProcess:
             t += median
         t += self._overhead
         self._pending_deadline = deadline_ns
-        self._pending = sim.schedule_at_cancellable(t, self._fire)
+        self._timer.schedule_at(t)
 
     def wake_now(self) -> None:
         """External wake-up (e.g. socket became readable).
@@ -88,9 +94,8 @@ class SimProcess:
         Pays scheduling jitter but not timer granularity, and supersedes any
         pending timer.
         """
-        pending = self._pending
-        if pending is not None:
-            pending.cancel()
+        if self._pending_deadline == _DETACHED:
+            return
         sim = self.sim
         now = sim._now
         t = now
@@ -101,22 +106,30 @@ class SimProcess:
                 median = round(median * _exp(self._gauss(0.0, sigma)))
             t += median
         self._pending_deadline = now
-        self._pending = sim.schedule_at_cancellable(t, self._fire)
+        self._timer.schedule_at(t)
 
     def cancel_timer(self) -> None:
-        if self._pending is not None:
-            self._pending.cancel()
-        self._pending = None
+        self._timer.cancel()
         self._pending_deadline = None
+
+    def detach(self) -> None:
+        """Permanently silence this process (flow departure).
+
+        Cancels the pending wake-up and pins the deadline to a sentinel
+        every real deadline compares later than, so subsequent
+        ``arm_timer``/``wake_now`` calls from straggler packets or stale
+        callbacks schedule nothing.
+        """
+        self._timer.cancel()
+        self._pending_deadline = _DETACHED
 
     @property
     def timer_armed(self) -> bool:
-        return self._pending is not None and not self._pending.cancelled
+        return self._timer.armed
 
     # -- dispatch -------------------------------------------------------
 
     def _fire(self) -> None:
-        self._pending = None
         self._pending_deadline = None
         self.wakeups += 1
         self.on_wakeup()

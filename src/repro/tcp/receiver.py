@@ -11,7 +11,7 @@ from typing import Optional
 
 from repro.kernel.socket import SendSpec, UdpSocket
 from repro.quic.ranges import RangeSet
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import Simulator
 from repro.tcp.segment import TcpSegment
 from repro.units import ms
 
@@ -29,13 +29,17 @@ class TcpReceiver:
         self.fin_seq: Optional[int] = None
         self.rcv_nxt = 0
         self._unacked_segments = 0
-        self._delack_timer: Optional[EventHandle] = None
+        # Reusable delayed-ACK timer (RFC 1122 200 ms).
+        self._delack_timer = sim.timer(self._send_ack)
+        self._detached = False
         self.first_data_at: Optional[int] = None
         self.completed_at: Optional[int] = None
         self.acks_sent = 0
         self.bytes_received_total = 0
 
     def _on_readable(self) -> None:
+        if self._detached:
+            return
         now = self.sim.now
         for dgram in self.socket.recv_all():
             segment = dgram.payload
@@ -62,10 +66,8 @@ class TcpReceiver:
         self._unacked_segments += 1
         if out_of_order or self._unacked_segments >= 2 or self.completed_at is not None:
             self._send_ack()
-        elif self._delack_timer is None:
-            self._delack_timer = self.sim.schedule_cancellable(
-                DELAYED_ACK_TIMEOUT, self._send_ack
-            )
+        elif not self._delack_timer.armed:
+            self._delack_timer.schedule(DELAYED_ACK_TIMEOUT)
 
     def _highest_seen(self) -> int:
         high = 0
@@ -84,10 +86,13 @@ class TcpReceiver:
         blocks.sort(key=lambda b: -b[1])
         return tuple(blocks[:3])
 
+    def detach(self) -> None:
+        """Tear down on flow departure: no further timers may fire."""
+        self._detached = True
+        self._delack_timer.cancel()
+
     def _send_ack(self) -> None:
-        if self._delack_timer is not None:
-            self._delack_timer.cancel()
-            self._delack_timer = None
+        self._delack_timer.cancel()
         self._unacked_segments = 0
         ack = TcpSegment(
             seq=0,

@@ -24,7 +24,7 @@ from repro.kernel.socket import SendSpec, UdpSocket
 from repro.quic.ranges import RangeSet
 from repro.quic.recovery import SentPacket
 from repro.quic.rtt import RttEstimator
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import Simulator
 from repro.tcp.segment import TCP_MSS, TcpSegment
 from repro.units import ms
 
@@ -69,7 +69,9 @@ class TcpSender:
 
         self._sent_times: Dict[int, int] = {}  # seq -> first-send time
         self._segment_index = 0
-        self._rto_timer: Optional[EventHandle] = None
+        # Reusable soft-cancel timer: re-armed on nearly every ACK.
+        self._rto_timer = sim.timer(self._on_rto)
+        self._detached = False
         self.retransmissions = 0
         self.rto_events = 0
         self.started_at: Optional[int] = None
@@ -181,6 +183,8 @@ class TcpSender:
     # -- receive ACKs --------------------------------------------------------------
 
     def _on_readable(self) -> None:
+        if self._detached:
+            return
         for dgram in self.socket.recv_all():
             segment = dgram.payload
             if isinstance(segment, TcpSegment):
@@ -235,17 +239,21 @@ class TcpSender:
     # -- RTO ----------------------------------------------------------------------
 
     def _arm_rto(self) -> None:
-        if self._rto_timer is not None:
+        if self._detached or self.complete or (
+            self.snd_nxt == self.snd_una and not self.fin_sent
+        ):
             self._rto_timer.cancel()
-            self._rto_timer = None
-        if self.complete or (self.snd_nxt == self.snd_una and not self.fin_sent):
             return
         rto = max(self.rtt.pto_interval(), MIN_RTO)
-        self._rto_timer = self.sim.schedule_cancellable(rto, self._on_rto)
+        self._rto_timer.schedule(rto)
+
+    def detach(self) -> None:
+        """Tear down on flow departure: no further timers may fire."""
+        self._detached = True
+        self._rto_timer.cancel()
 
     def _on_rto(self) -> None:
-        self._rto_timer = None
-        if self.complete:
+        if self._detached or self.complete:
             return
         now = self.sim.now
         self.rto_events += 1
